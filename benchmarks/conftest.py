@@ -1,0 +1,44 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures via the
+corresponding ``repro.experiments`` module, records the wall-clock cost of
+doing so with pytest-benchmark, prints the regenerated rows, and writes them
+to ``results/<figure>.txt`` so EXPERIMENTS.md can reference the exact output.
+
+Simulation results are deterministic, so each figure is generated exactly
+once (``rounds=1``) — the interesting output is the figure itself, not
+timing statistics over repeated runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import FigureResult
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def regenerate(benchmark, results_dir):
+    """Run a figure module once under pytest-benchmark and persist its output."""
+
+    def _regenerate(run_callable, *args, **kwargs) -> FigureResult:
+        result = benchmark.pedantic(
+            run_callable, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        rendered = result.render()
+        output_path = results_dir / f"{result.name}.txt"
+        output_path.write_text(rendered + "\n", encoding="utf-8")
+        print(f"\n{rendered}\n[written to {output_path}]")
+        return result
+
+    return _regenerate

@@ -1,0 +1,24 @@
+"""Benchmarks for the design-choice ablations called out in DESIGN.md."""
+
+from repro.experiments.ablation import (
+    run_interpolation_ablation,
+    run_rate_split_ablation,
+    run_reference_count_ablation,
+)
+
+
+def test_bench_ablation_rate_split(regenerate):
+    result = regenerate(run_rate_split_ablation)
+    assert result.summary["split_rate_abs_error_geomean"] > 0.0
+    assert result.summary["single_rate_abs_error_geomean"] > 0.0
+
+
+def test_bench_ablation_interpolation(regenerate):
+    result = regenerate(run_interpolation_ablation)
+    assert result.summary["log_interp_abs_error_geomean"] > 0.0
+
+
+def test_bench_ablation_reference_count(regenerate):
+    result = regenerate(run_reference_count_ablation)
+    gaps = [abs(value) for value in result.summary.values()]
+    assert all(gap < 0.15 for gap in gaps)

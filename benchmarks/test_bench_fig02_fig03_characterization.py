@@ -1,0 +1,18 @@
+"""Benchmarks regenerating the 26-co-runner characterization (Figures 2-3)."""
+
+from repro.experiments import fig02_corun_slowdown, fig03_time_split
+
+
+def test_bench_fig02_corun_slowdown(regenerate):
+    result = regenerate(fig02_corun_slowdown.run)
+    # Paper: ~11.5 % gmean slowdown, up to ~35 %.
+    assert 1.03 < result.summary["gmean_slowdown"] < 1.35
+    assert result.summary["max_slowdown"] < 1.8
+
+
+def test_bench_fig03_time_split(regenerate):
+    result = regenerate(fig03_time_split.run)
+    # Paper: T_shared +181 % on average (max 4.9x), T_private only ~+4 %.
+    assert result.summary["gmean_shared_slowdown"] > 1.6
+    assert result.summary["gmean_private_slowdown"] < 1.1
+    assert result.summary["max_shared_slowdown"] < 6.0

@@ -1,0 +1,45 @@
+"""Benchmarks regenerating the calibration/model figures (Figures 5-10, 14)."""
+
+from repro.experiments import (
+    fig05_tables,
+    fig07_probe_timeline,
+    fig08_reference_mbgen,
+    fig09_regression,
+    fig10_interpolation,
+    fig14_switching,
+)
+
+
+def test_bench_fig05_tables(regenerate):
+    result = regenerate(fig05_tables.run)
+    assert result.summary["congestion_entries"] > 0
+    assert result.summary["max_reference_total_slowdown"] > 1.0
+
+
+def test_bench_fig07_probe_timeline(regenerate):
+    result = regenerate(fig07_probe_timeline.run)
+    assert result.summary["probes"] >= 4
+
+
+def test_bench_fig08_reference_mbgen(regenerate):
+    result = regenerate(fig08_reference_mbgen.run)
+    assert result.summary["gmean_shared_slowdown"] > result.summary["gmean_private_slowdown"]
+
+
+def test_bench_fig09_regression(regenerate):
+    result = regenerate(fig09_regression.run)
+    r2 = [value for key, value in result.summary.items() if "_r2_" in key]
+    # Paper Figure 9 reports R^2 between 0.84 and 0.99.
+    assert all(value > 0.6 for value in r2)
+
+
+def test_bench_fig10_interpolation(regenerate):
+    result = regenerate(fig10_interpolation.run)
+    assert result.summary["mb_expected_l3_misses"] > result.summary["ct_expected_l3_misses"]
+    assert result.summary["max_discount"] >= result.summary["min_discount"]
+
+
+def test_bench_fig14_switching_overhead(regenerate):
+    result = regenerate(fig14_switching.run)
+    # Paper Figure 14: saturates at roughly +2.5 %.
+    assert 1.01 < result.summary["inflation_at_saturation"] < 1.06

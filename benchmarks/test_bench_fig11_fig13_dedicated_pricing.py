@@ -1,0 +1,29 @@
+"""Benchmarks regenerating the one-function-per-core pricing figures (11-13).
+
+Paper reference points: the average Litmus discount is 10.7 % against an
+ideal 10.3 % (Figure 11), per-function absolute errors reach 0.072 with an
+absolute geometric mean of 0.023 (Figure 12).  The reproduction checks the
+shape: Litmus tracks the ideal discount within a few percent and per-function
+errors stay bounded.
+"""
+
+from repro.experiments import fig11_price_26, fig12_price_errors, fig13_discount_lines
+
+
+def test_bench_fig11_prices_with_26_corunners(regenerate):
+    result = regenerate(fig11_price_26.run)
+    assert 0.0 < result.summary["average_ideal_discount"] < 0.35
+    assert 0.0 < result.summary["average_litmus_discount"] < 0.35
+    assert abs(result.summary["discount_gap"]) < 0.05
+
+
+def test_bench_fig12_price_errors(regenerate):
+    result = regenerate(fig12_price_errors.run)
+    assert result.summary["abs_error_geomean"] < 0.06
+    assert result.summary["max_abs_error"] < 0.12
+
+
+def test_bench_fig13_discount_lines(regenerate):
+    result = regenerate(fig13_discount_lines.run)
+    # Shared resources get deeper discounts than private resources.
+    assert result.summary["gmean_shared_rate"] < result.summary["gmean_private_rate"]

@@ -1,0 +1,30 @@
+"""Benchmarks regenerating Table 1 and the workload-characterization figures
+that need no co-running environment (Figures 1, 4, 6)."""
+
+from repro.experiments import fig01_traffic, fig04_distribution, fig06_startup_ipc, table1
+
+
+def test_bench_table1(regenerate):
+    result = regenerate(table1.run)
+    assert result.summary["functions"] == 27.0
+    assert result.summary["reference_functions"] == 13.0
+
+
+def test_bench_fig01_traffic_generators(regenerate):
+    result = regenerate(fig01_traffic.run)
+    # Figure 1 shape: CT-Gen produces more L2 misses, MB-Gen vastly more L3
+    # misses; both grow with thread count.
+    assert result.summary["ct_gen_max_normalized_l2"] > result.summary["mb_gen_max_normalized_l2"]
+    assert result.summary["l3_separation_ratio"] > 5.0
+
+
+def test_bench_fig04_time_distribution(regenerate):
+    result = regenerate(fig04_distribution.run)
+    assert result.summary["max_private_fraction"] > 0.9
+    assert 0.0 < result.summary["mean_shared_fraction"] < 0.5
+
+
+def test_bench_fig06_startup_ipc(regenerate):
+    result = regenerate(fig06_startup_ipc.run)
+    assert result.summary["nodejs_startup_ms"] > result.summary["python_startup_ms"]
+    assert result.summary["python_startup_ms"] > result.summary["go_startup_ms"]

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Provider workflow: build the Litmus tables and inspect the fitted models.
+
+A service provider deploying Litmus pricing runs this kind of study once per
+machine configuration:
+
+1. sweep CT-Gen and MB-Gen across stress levels while measuring the runtime
+   startup probes (congestion table) and the reference functions
+   (performance table),
+2. fit the per-language regression models from probe slowdowns to reference
+   slowdowns and check their quality (the paper's Figure 9 reports R^2
+   between 0.84 and 0.99),
+3. inspect the logarithmic L3-miss interpolation that blends the two
+   generators' discount predictions (Figure 10).
+
+Run with:  python examples/provider_calibration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core import CalibrationScenario, Calibrator, CongestionEstimator
+from repro.core.litmus_test import LitmusObservation
+from repro.hardware import CASCADE_LAKE_5218
+from repro.workloads import default_registry
+from repro.workloads.runtimes import Language
+from repro.workloads.traffic import GeneratorKind
+
+
+def main() -> None:
+    machine = CASCADE_LAKE_5218
+    registry = default_registry().scaled(0.3)
+
+    print("sweeping CT-Gen and MB-Gen stress levels (this is the expensive, "
+          "offline part a provider runs once per machine) ...\n")
+    calibration = Calibrator(
+        machine,
+        registry,
+        CalibrationScenario.dedicated(),
+        stress_levels=(4, 8, 12, 16),
+    ).calibrate()
+
+    print(format_table(
+        calibration.congestion_table.rows(),
+        columns=(
+            "generator", "stress_level", "language",
+            "startup_private_slowdown", "startup_shared_slowdown", "machine_l3_misses",
+        ),
+        title="Congestion table (startup probes)",
+        float_format="{:.3f}",
+    ))
+    print()
+    print(format_table(
+        calibration.performance_table.rows(),
+        columns=(
+            "generator", "stress_level",
+            "reference_private_slowdown", "reference_shared_slowdown",
+            "reference_total_slowdown",
+        ),
+        title="Performance table (reference functions)",
+        float_format="{:.3f}",
+    ))
+
+    estimator = CongestionEstimator(calibration)
+    print("\nregression quality (R^2) of the fitted models:")
+    for key, value in sorted(estimator.regression_quality().items()):
+        print(f"  {key:28s} {value:6.3f}")
+
+    # Demonstrate the Figure-10 style interpolation for a Python probe that
+    # saw a moderate slowdown but very different L3-miss counts.
+    entry = calibration.congestion_table.get(GeneratorKind.MB, 8, Language.PYTHON)
+    print("\ndiscounts for one probe reading at different machine L3-miss counts:")
+    for l3 in (entry.machine_l3_misses / 20, entry.machine_l3_misses / 4, entry.machine_l3_misses):
+        observation = LitmusObservation(
+            function="demo",
+            language=Language.PYTHON,
+            private_slowdown=entry.private_slowdown,
+            shared_slowdown=entry.shared_slowdown,
+            total_slowdown=entry.total_slowdown,
+            machine_l3_misses=l3,
+            startup_wall_seconds=0.0,
+        )
+        estimate = estimator.estimate(observation)
+        print(
+            f"  L3 misses {l3:12,.0f}  ->  MB-likeness {estimate.mb_weight:4.2f}, "
+            f"total discount {1 - 1 / estimate.total_slowdown:6.2%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

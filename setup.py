@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed editable (``pip install -e .``) on environments
+whose setuptools/pip combination cannot build PEP 660 editable wheels
+offline (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""Price-error metrics (the paper's Figure 12).
+
+The paper reports, per test function, the *weighted* error of each pricing
+component: the error of ``P_private`` (relative to the ideal component
+price) weighted by the share of ``T_private`` in the execution, likewise for
+``P_shared``, plus the error of the total price.  A positive error means the
+tenant was under-compensated (the Litmus price exceeds the ideal price); a
+negative error means over-compensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PriceErrorBreakdown:
+    """Signed error of one function's Litmus price against its ideal price."""
+
+    function: str
+    private_error: float
+    shared_error: float
+    total_error: float
+
+    @property
+    def absolute_total_error(self) -> float:
+        return abs(self.total_error)
+
+
+def price_error_breakdown(
+    *,
+    function: str,
+    litmus_private: float,
+    litmus_shared: float,
+    ideal_private: float,
+    ideal_shared: float,
+) -> PriceErrorBreakdown:
+    """Compute the weighted component errors of Figure 12.
+
+    ``litmus_*`` and ``ideal_*`` are the component prices (same currency
+    units).  The component errors are weighted by the ideal component's
+    share of the ideal total so that an error on a tiny component cannot
+    dominate the breakdown.
+    """
+    ideal_total = ideal_private + ideal_shared
+    if ideal_total <= 0:
+        raise ValueError("ideal price must be positive")
+    litmus_total = litmus_private + litmus_shared
+
+    private_weight = ideal_private / ideal_total
+    shared_weight = ideal_shared / ideal_total
+
+    private_error = 0.0
+    if ideal_private > 0:
+        private_error = (litmus_private - ideal_private) / ideal_private * private_weight
+    shared_error = 0.0
+    if ideal_shared > 0:
+        shared_error = (litmus_shared - ideal_shared) / ideal_shared * shared_weight
+    total_error = (litmus_total - ideal_total) / ideal_total
+
+    return PriceErrorBreakdown(
+        function=function,
+        private_error=private_error,
+        shared_error=shared_error,
+        total_error=total_error,
+    )

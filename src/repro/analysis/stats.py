@@ -1,0 +1,53 @@
+"""Small statistics helpers shared by calibration, pricing and experiments.
+
+The paper reports most aggregates as geometric means (slowdowns, normalized
+prices), so that is the default aggregator throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Raises :class:`ValueError` on an empty input or non-positive values —
+    silently returning 0 or skipping entries would hide calibration bugs.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of an empty sequence is undefined")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric_mean requires positive values, got {value}")
+        total += math.log(value)
+    return math.exp(total / len(values))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Arithmetic mean of ``values`` weighted by ``weights``."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    if not values:
+        raise ValueError("weighted_mean of an empty sequence is undefined")
+    total_weight = float(sum(weights))
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator`` with an explicit value for a zero denominator."""
+    if denominator == 0:
+        return default
+    return numerator / denominator
+
+
+def normalize(values: Sequence[float], baseline: float) -> list[float]:
+    """Divide every value by ``baseline`` (which must be non-zero)."""
+    if baseline == 0:
+        raise ValueError("cannot normalize by a zero baseline")
+    return [value / baseline for value in values]

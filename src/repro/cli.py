@@ -1,0 +1,143 @@
+"""Command-line interface: regenerate paper figures and inspect the registry.
+
+Usage examples::
+
+    python -m repro list                 # every available figure/table
+    python -m repro run fig11            # regenerate Figure 11 and print it
+    python -m repro run fig16 --output results/fig16.txt
+    python -m repro registry             # dump the Table-1 workload registry
+
+Each figure's ``run`` entry point accepts the library defaults; the CLI is a
+thin wrapper intended for quick inspection, not a replacement for the
+benchmark harness (which also asserts the expected shapes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence
+
+from repro._version import __version__
+
+#: Figure/table name -> experiments module implementing ``run()``.
+FIGURE_MODULES: Dict[str, str] = {
+    "table1": "repro.experiments.table1",
+    "fig01": "repro.experiments.fig01_traffic",
+    "fig02": "repro.experiments.fig02_corun_slowdown",
+    "fig03": "repro.experiments.fig03_time_split",
+    "fig04": "repro.experiments.fig04_distribution",
+    "fig05": "repro.experiments.fig05_tables",
+    "fig06": "repro.experiments.fig06_startup_ipc",
+    "fig07": "repro.experiments.fig07_probe_timeline",
+    "fig08": "repro.experiments.fig08_reference_mbgen",
+    "fig09": "repro.experiments.fig09_regression",
+    "fig10": "repro.experiments.fig10_interpolation",
+    "fig11": "repro.experiments.fig11_price_26",
+    "fig12": "repro.experiments.fig12_price_errors",
+    "fig13": "repro.experiments.fig13_discount_lines",
+    "fig14": "repro.experiments.fig14_switching",
+    "fig15": "repro.experiments.fig15_method1",
+    "fig16": "repro.experiments.fig16_method2",
+    "fig17": "repro.experiments.fig17_heavy",
+    "fig18": "repro.experiments.fig18_frequency",
+    "fig19": "repro.experiments.fig19_icelake",
+    "fig20": "repro.experiments.fig20_reused_tables",
+    "fig21": "repro.experiments.fig21_smt",
+    "ablation-rate-split": "repro.experiments.ablation:run_rate_split_ablation",
+    "ablation-interpolation": "repro.experiments.ablation:run_interpolation_ablation",
+    "ablation-reference-count": "repro.experiments.ablation:run_reference_count_ablation",
+}
+
+
+def _resolve_runner(name: str) -> Callable[[], object]:
+    """Import the ``run`` callable behind a figure name."""
+    target = FIGURE_MODULES[name]
+    if ":" in target:
+        module_name, attribute = target.split(":", 1)
+    else:
+        module_name, attribute = target, "run"
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    width = max(len(name) for name in FIGURE_MODULES)
+    for name, target in sorted(FIGURE_MODULES.items()):
+        print(f"{name.ljust(width)}  {target}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    name = args.figure
+    if name not in FIGURE_MODULES:
+        known = ", ".join(sorted(FIGURE_MODULES))
+        print(f"unknown figure {name!r}; known figures: {known}", file=sys.stderr)
+        return 2
+    runner = _resolve_runner(name)
+    result = runner()
+    rendered = result.render()
+    print(rendered)
+    if args.output is not None:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(rendered + "\n", encoding="utf-8")
+        print(f"\n[written to {output}]")
+    return 0
+
+
+def _command_registry(_: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.workloads.registry import table1_rows
+
+    print(
+        format_table(
+            table1_rows(),
+            columns=(
+                "abbreviation",
+                "name",
+                "suite",
+                "language",
+                "reference",
+                "memory_mb",
+            ),
+            title="Table 1: serverless benchmarks",
+            float_format="{:.0f}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Litmus: Fair Pricing for Serverless Computing'",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the available figures/tables")
+    list_parser.set_defaults(handler=_command_list)
+
+    run_parser = subparsers.add_parser("run", help="regenerate one figure/table")
+    run_parser.add_argument("figure", help="figure name, e.g. fig11 (see 'list')")
+    run_parser.add_argument(
+        "--output", "-o", default=None, help="also write the rendered rows to this file"
+    )
+    run_parser.set_defaults(handler=_command_run)
+
+    registry_parser = subparsers.add_parser("registry", help="print the workload registry")
+    registry_parser.set_defaults(handler=_command_registry)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

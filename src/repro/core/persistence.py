@@ -1,0 +1,230 @@
+"""Persisting calibration results to disk.
+
+Calibration is the expensive, offline half of Litmus pricing: a provider
+sweeps two traffic generators across stress levels on every machine
+configuration it operates.  The natural workflow is to run that sweep once,
+store the tables, and load them on the pricing path — so this module
+serializes a :class:`repro.core.calibration.CalibrationResult` (tables,
+startup baselines and reference baselines) to a JSON document and back.
+
+Only measurement data is persisted; regression models are cheap to refit and
+are always rebuilt from the loaded tables, which keeps the stored format
+independent of the fitting implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Tuple
+
+from repro.core.calibration import CalibrationResult, CalibrationScenario
+from repro.core.litmus_test import StartupBaseline
+from repro.core.tables import (
+    CongestionObservation,
+    CongestionTable,
+    PerformanceObservation,
+    PerformanceTable,
+)
+from repro.hardware.topology import machine_by_name
+from repro.platform.metering import InvocationMeasurement, StartupMeasurement
+from repro.platform.oracle import SoloProfile
+from repro.workloads.runtimes import Language
+from repro.workloads.traffic import GeneratorKind
+
+#: Format marker so future layout changes can be detected on load.
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------- #
+def _encode_startup_baseline(baseline: StartupBaseline) -> Mapping[str, float]:
+    return {
+        "language": baseline.language.value,
+        "private_seconds": baseline.private_seconds,
+        "shared_seconds": baseline.shared_seconds,
+        "machine_l3_misses": baseline.machine_l3_misses,
+    }
+
+
+def _encode_execution(measurement: InvocationMeasurement) -> Mapping[str, object]:
+    return {
+        "function": measurement.function,
+        "memory_gb": measurement.memory_gb,
+        "occupied_seconds": measurement.occupied_seconds,
+        "t_private_seconds": measurement.t_private_seconds,
+        "t_shared_seconds": measurement.t_shared_seconds,
+        "instructions": measurement.instructions,
+        "cycles": measurement.cycles,
+        "l2_misses": measurement.l2_misses,
+        "l3_misses": measurement.l3_misses,
+        "mean_thread_occupancy": measurement.mean_thread_occupancy,
+    }
+
+
+def _encode_startup(measurement: StartupMeasurement) -> Mapping[str, object]:
+    return {
+        "function": measurement.function,
+        "language": measurement.language,
+        "instructions": measurement.instructions,
+        "t_private_seconds": measurement.t_private_seconds,
+        "t_shared_seconds": measurement.t_shared_seconds,
+        "private_cycles": measurement.private_cycles,
+        "shared_cycles": measurement.shared_cycles,
+        "wall_seconds": measurement.wall_seconds,
+        "machine_l3_misses": measurement.machine_l3_misses,
+    }
+
+
+def calibration_to_dict(result: CalibrationResult) -> Dict[str, object]:
+    """Encode a calibration result as a JSON-serializable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "machine": result.machine.name,
+        "scenario": {
+            "name": result.scenario.name,
+            "function_thread_count": result.scenario.function_thread_count,
+            "functions_per_thread": result.scenario.functions_per_thread,
+            "smt_enabled": result.scenario.smt_enabled,
+            "background_functions": result.scenario.background_functions,
+        },
+        "stress_levels": list(result.stress_levels),
+        "generators": [kind.value for kind in result.generators],
+        "startup_baselines": [
+            _encode_startup_baseline(baseline)
+            for baseline in result.startup_baselines.values()
+        ],
+        "reference_baselines": {
+            abbreviation: {
+                "execution": _encode_execution(profile.execution),
+                "startup": _encode_startup(profile.startup)
+                if profile.startup is not None
+                else None,
+            }
+            for abbreviation, profile in result.reference_baselines.items()
+        },
+        "congestion_table": [dict(row) for row in result.congestion_table.rows()],
+        "performance_table": [dict(row) for row in result.performance_table.rows()],
+        "reference_slowdowns": [
+            {
+                "generator": generator.value,
+                "stress_level": level,
+                "slowdowns": {
+                    abbreviation: list(values)
+                    for abbreviation, values in per_reference.items()
+                },
+            }
+            for (generator, level), per_reference in result.reference_slowdowns.items()
+        ],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Decoding
+# --------------------------------------------------------------------- #
+def _decode_execution(payload: Mapping[str, object]) -> InvocationMeasurement:
+    return InvocationMeasurement(**payload)  # type: ignore[arg-type]
+
+
+def _decode_startup(payload: Mapping[str, object]) -> StartupMeasurement:
+    return StartupMeasurement(**payload)  # type: ignore[arg-type]
+
+
+def calibration_from_dict(payload: Mapping[str, object]) -> CalibrationResult:
+    """Rebuild a calibration result from :func:`calibration_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported calibration format version {version!r}; "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    scenario_payload = payload["scenario"]
+    scenario = CalibrationScenario(
+        name=scenario_payload["name"],
+        function_thread_count=scenario_payload["function_thread_count"],
+        functions_per_thread=scenario_payload["functions_per_thread"],
+        smt_enabled=scenario_payload["smt_enabled"],
+        background_functions=scenario_payload["background_functions"],
+    )
+
+    startup_baselines = {}
+    for entry in payload["startup_baselines"]:
+        language = Language(entry["language"])
+        startup_baselines[language] = StartupBaseline(
+            language=language,
+            private_seconds=entry["private_seconds"],
+            shared_seconds=entry["shared_seconds"],
+            machine_l3_misses=entry["machine_l3_misses"],
+        )
+
+    reference_baselines = {}
+    for abbreviation, entry in payload["reference_baselines"].items():
+        startup = entry.get("startup")
+        reference_baselines[abbreviation] = SoloProfile(
+            execution=_decode_execution(entry["execution"]),
+            startup=_decode_startup(startup) if startup is not None else None,
+        )
+
+    congestion = CongestionTable(
+        CongestionObservation(
+            generator=GeneratorKind(row["generator"]),
+            stress_level=int(row["stress_level"]),
+            language=Language(row["language"]),
+            private_slowdown=row["startup_private_slowdown"],
+            shared_slowdown=row["startup_shared_slowdown"],
+            total_slowdown=row["startup_total_slowdown"],
+            machine_l3_misses=row["machine_l3_misses"],
+        )
+        for row in payload["congestion_table"]
+    )
+    performance = PerformanceTable(
+        PerformanceObservation(
+            generator=GeneratorKind(row["generator"]),
+            stress_level=int(row["stress_level"]),
+            private_slowdown=row["reference_private_slowdown"],
+            shared_slowdown=row["reference_shared_slowdown"],
+            total_slowdown=row["reference_total_slowdown"],
+        )
+        for row in payload["performance_table"]
+    )
+
+    reference_slowdowns: Dict[Tuple[GeneratorKind, int], Dict[str, Tuple[float, float, float]]] = {}
+    for entry in payload["reference_slowdowns"]:
+        key = (GeneratorKind(entry["generator"]), int(entry["stress_level"]))
+        reference_slowdowns[key] = {
+            abbreviation: tuple(values)  # type: ignore[misc]
+            for abbreviation, values in entry["slowdowns"].items()
+        }
+
+    return CalibrationResult(
+        machine=machine_by_name(payload["machine"]),
+        scenario=scenario,
+        stress_levels=tuple(int(level) for level in payload["stress_levels"]),
+        generators=tuple(GeneratorKind(value) for value in payload["generators"]),
+        startup_baselines=startup_baselines,
+        reference_baselines=reference_baselines,
+        congestion_table=congestion,
+        performance_table=performance,
+        reference_slowdowns=reference_slowdowns,
+    )
+
+
+# --------------------------------------------------------------------- #
+# File helpers
+# --------------------------------------------------------------------- #
+def save_calibration(result: CalibrationResult, path: str | Path) -> Path:
+    """Write a calibration result to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(calibration_to_dict(result), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_calibration(path: str | Path) -> CalibrationResult:
+    """Load a calibration result previously written by :func:`save_calibration`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return calibration_from_dict(payload)

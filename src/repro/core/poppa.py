@@ -1,0 +1,120 @@
+"""POPPA-style shutter-sampling baseline.
+
+POPPA (Breslow et al., SC'13) prices co-scheduled HPC jobs fairly by
+periodically *shutter sampling*: all co-running applications are paused for
+a short window so the target application's interference-free progress rate
+can be observed, and the observed slowdown sets the discount.
+
+The paper uses POPPA as the conceptual baseline that Litmus improves on:
+sampling measures each function's own slowdown (so it is accurate), but the
+measurement stalls every co-runner, and with hundreds of short-lived
+functions the sampling frequency required makes the overhead untenable.
+
+In this reproduction POPPA is modeled analytically against the solo oracle:
+its slowdown estimate equals the function's true slowdown (the best case for
+sampling accuracy), while the cost of obtaining it — co-runner core-seconds
+lost to shutter windows — is accounted explicitly so the overhead comparison
+of the two schemes can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pricing import Price, PricingComponents
+from repro.platform.metering import InvocationMeasurement
+from repro.platform.oracle import SoloProfile
+
+
+@dataclass(frozen=True)
+class PoppaQuote:
+    """A POPPA price plus the sampling overhead it imposed on the system."""
+
+    function: str
+    price: Price
+    commercial: Price
+    measured_slowdown: float
+    sample_count: int
+    #: Core-seconds of co-runner execution stalled by the shutter windows.
+    sampling_overhead_core_seconds: float
+
+    @property
+    def normalized_price(self) -> float:
+        if self.commercial.total <= 0:
+            return 1.0
+        return self.price.total / self.commercial.total
+
+    @property
+    def discount(self) -> float:
+        return 1.0 - self.normalized_price
+
+
+class PoppaPricing:
+    """Shutter-sampling pricing baseline."""
+
+    def __init__(
+        self,
+        *,
+        rate_per_gb_second: float = 1.0,
+        sampling_interval_seconds: float = 0.05,
+        sample_window_seconds: float = 0.002,
+    ) -> None:
+        if rate_per_gb_second <= 0:
+            raise ValueError("rate_per_gb_second must be positive")
+        if sampling_interval_seconds <= 0:
+            raise ValueError("sampling_interval_seconds must be positive")
+        if sample_window_seconds <= 0:
+            raise ValueError("sample_window_seconds must be positive")
+        if sample_window_seconds >= sampling_interval_seconds:
+            raise ValueError("the sample window must be shorter than the interval")
+        self._rate = rate_per_gb_second
+        self._interval = sampling_interval_seconds
+        self._window = sample_window_seconds
+
+    @property
+    def sampling_interval_seconds(self) -> float:
+        return self._interval
+
+    @property
+    def sample_window_seconds(self) -> float:
+        return self._window
+
+    def quote(
+        self,
+        measurement: InvocationMeasurement,
+        solo: SoloProfile,
+        co_running_functions: int,
+    ) -> PoppaQuote:
+        """Price one invocation by (idealised) shutter sampling.
+
+        ``co_running_functions`` is the number of other functions stalled
+        during every shutter window; their lost core-seconds are the
+        overhead POPPA pays for its accuracy.
+        """
+        if co_running_functions < 0:
+            raise ValueError("co_running_functions must be >= 0")
+        components = PricingComponents.from_measurement(measurement)
+        if solo.t_total_seconds <= 0:
+            raise ValueError("the solo profile must have a positive execution time")
+        slowdown = max(components.t_total_seconds / solo.t_total_seconds, 1.0)
+
+        commercial = Price(
+            private=self._rate * components.memory_gb * components.t_private_seconds,
+            shared=self._rate * components.memory_gb * components.t_shared_seconds,
+        )
+        # Sampling observes the true slowdown, so the discounted price equals
+        # the commercial price divided by the slowdown (i.e. the ideal price).
+        price = Price(
+            private=commercial.private / slowdown,
+            shared=commercial.shared / slowdown,
+        )
+        sample_count = max(int(components.t_total_seconds / self._interval), 1)
+        overhead = sample_count * self._window * co_running_functions
+        return PoppaQuote(
+            function=measurement.function,
+            price=price,
+            commercial=commercial,
+            measured_slowdown=slowdown,
+            sample_count=sample_count,
+            sampling_overhead_core_seconds=overhead,
+        )

@@ -1,0 +1,183 @@
+"""A provider-facing facade: deploy Litmus pricing on a platform.
+
+The lower-level modules expose every moving part (calibrator, estimator,
+pricing engine, oracle).  :class:`LitmusBillingService` bundles them into the
+object a platform operator would actually integrate:
+
+* construct it from a calibration result (fresh or loaded from disk),
+* feed it completed invocations as they finish,
+* read back per-invocation billing records and per-tenant/per-function
+  summaries comparing the Litmus charge against the commercial charge.
+
+The service never needs the tenant functions' solo profiles — that is the
+whole point of Litmus — but it can optionally be handed a
+:class:`repro.platform.oracle.SoloOracle` so reports also show the ideal
+price for evaluation purposes (as the paper's figures do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.analysis.stats import geometric_mean
+from repro.core.calibration import CalibrationResult
+from repro.core.estimator import CongestionEstimator
+from repro.core.pricing import IdealPricing, LitmusPricingEngine, PriceQuote
+from repro.core.sharing import Method1Adjustment
+from repro.platform.invoker import Invocation
+from repro.platform.oracle import SoloOracle
+
+
+@dataclass(frozen=True)
+class BillingRecord:
+    """One invocation's bill."""
+
+    invocation_id: int
+    function: str
+    tenant: str
+    memory_gb: float
+    occupied_seconds: float
+    commercial_price: float
+    litmus_price: float
+    ideal_price: Optional[float]
+    estimated_private_slowdown: float
+    estimated_shared_slowdown: float
+
+    @property
+    def discount(self) -> float:
+        if self.commercial_price <= 0:
+            return 0.0
+        return 1.0 - self.litmus_price / self.commercial_price
+
+    @property
+    def refund(self) -> float:
+        """Absolute amount returned to the tenant versus commercial pricing."""
+        return self.commercial_price - self.litmus_price
+
+
+@dataclass(frozen=True)
+class BillingSummary:
+    """Aggregate view over a set of billing records."""
+
+    records: int
+    commercial_total: float
+    litmus_total: float
+    ideal_total: Optional[float]
+
+    @property
+    def average_discount(self) -> float:
+        if self.commercial_total <= 0:
+            return 0.0
+        return 1.0 - self.litmus_total / self.commercial_total
+
+    @property
+    def average_ideal_discount(self) -> Optional[float]:
+        if self.ideal_total is None or self.commercial_total <= 0:
+            return None
+        return 1.0 - self.ideal_total / self.commercial_total
+
+
+class LitmusBillingService:
+    """Prices completed invocations and keeps the billing ledger."""
+
+    def __init__(
+        self,
+        calibration: CalibrationResult,
+        *,
+        base_rate_per_gb_second: float = 1.0,
+        method1: Optional[Method1Adjustment] = None,
+        oracle: Optional[SoloOracle] = None,
+    ) -> None:
+        self._calibration = calibration
+        self._pricer = LitmusPricingEngine(
+            CongestionEstimator(calibration),
+            base_rate_per_gb_second=base_rate_per_gb_second,
+            method1=method1,
+        )
+        self._ideal = IdealPricing(base_rate_per_gb_second)
+        self._oracle = oracle
+        self._records: List[BillingRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Billing
+    # ------------------------------------------------------------------ #
+    @property
+    def calibration(self) -> CalibrationResult:
+        return self._calibration
+
+    @property
+    def records(self) -> List[BillingRecord]:
+        return list(self._records)
+
+    def bill(self, invocation: Invocation, tenant: str = "default") -> BillingRecord:
+        """Price one completed invocation and append it to the ledger."""
+        quote: PriceQuote = self._pricer.quote(invocation)
+        ideal_price: Optional[float] = None
+        if self._oracle is not None:
+            solo = self._oracle.profile(invocation.spec)
+            ideal_price = self._ideal.price(invocation.spec.memory_gb, solo).total
+        record = BillingRecord(
+            invocation_id=invocation.invocation_id,
+            function=invocation.spec.abbreviation,
+            tenant=tenant,
+            memory_gb=invocation.spec.memory_gb,
+            occupied_seconds=quote.components.t_total_seconds,
+            commercial_price=quote.commercial.total,
+            litmus_price=quote.litmus.total,
+            ideal_price=ideal_price,
+            estimated_private_slowdown=quote.estimate.private_slowdown,
+            estimated_shared_slowdown=quote.estimate.shared_slowdown,
+        )
+        self._records.append(record)
+        return record
+
+    def bill_completed(
+        self, invocations: List[Invocation], tenant: str = "default"
+    ) -> List[BillingRecord]:
+        """Bill every completed invocation in a batch."""
+        return [self.bill(invocation, tenant=tenant) for invocation in invocations]
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def summary(self, tenant: Optional[str] = None) -> BillingSummary:
+        """Aggregate the ledger, optionally restricted to one tenant."""
+        records = [r for r in self._records if tenant is None or r.tenant == tenant]
+        ideal_values = [r.ideal_price for r in records if r.ideal_price is not None]
+        ideal_total = sum(ideal_values) if len(ideal_values) == len(records) and records else None
+        return BillingSummary(
+            records=len(records),
+            commercial_total=sum(r.commercial_price for r in records),
+            litmus_total=sum(r.litmus_price for r in records),
+            ideal_total=ideal_total,
+        )
+
+    def summary_by_function(self) -> Dict[str, BillingSummary]:
+        """Per-function aggregates over the whole ledger."""
+        grouped: Dict[str, List[BillingRecord]] = {}
+        for record in self._records:
+            grouped.setdefault(record.function, []).append(record)
+        result: Dict[str, BillingSummary] = {}
+        for function, records in grouped.items():
+            ideal_values = [r.ideal_price for r in records if r.ideal_price is not None]
+            ideal_total = (
+                sum(ideal_values) if len(ideal_values) == len(records) else None
+            )
+            result[function] = BillingSummary(
+                records=len(records),
+                commercial_total=sum(r.commercial_price for r in records),
+                litmus_total=sum(r.litmus_price for r in records),
+                ideal_total=ideal_total,
+            )
+        return result
+
+    def average_normalized_price(self) -> float:
+        """Geometric mean of litmus/commercial across the ledger (<= 1)."""
+        if not self._records:
+            raise ValueError("no invocations have been billed yet")
+        return geometric_mean(
+            record.litmus_price / record.commercial_price
+            for record in self._records
+            if record.commercial_price > 0
+        )

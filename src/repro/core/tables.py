@@ -1,0 +1,183 @@
+"""The congestion and performance tables (paper Figure 5).
+
+Providers build two tables offline, one entry per (traffic generator,
+stress level):
+
+* the **congestion table** records how the *startup* of each language
+  runtime slows down (private and shared components separately) and how many
+  L3 misses the machine suffers while the startup runs;
+* the **performance table** records the geometric-mean slowdown of the
+  *reference functions* (again split into private / shared / total).
+
+Entries of the two tables are mapped one-to-one through the (generator,
+stress level) key: once a runtime Litmus test is matched against congestion
+table entries, the corresponding performance entries predict how a typical
+function would slow down under the same conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.workloads.runtimes import Language
+from repro.workloads.traffic import GeneratorKind
+
+
+@dataclass(frozen=True)
+class CongestionObservation:
+    """Startup-probe readings at one (generator, level) for one language."""
+
+    generator: GeneratorKind
+    stress_level: int
+    language: Language
+    private_slowdown: float
+    shared_slowdown: float
+    total_slowdown: float
+    machine_l3_misses: float
+
+    def __post_init__(self) -> None:
+        if self.stress_level < 0:
+            raise ValueError("stress_level must be >= 0")
+        for name in ("private_slowdown", "shared_slowdown", "total_slowdown"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.machine_l3_misses < 0:
+            raise ValueError("machine_l3_misses must be >= 0")
+
+
+@dataclass(frozen=True)
+class PerformanceObservation:
+    """Reference-set gmean slowdowns at one (generator, level)."""
+
+    generator: GeneratorKind
+    stress_level: int
+    private_slowdown: float
+    shared_slowdown: float
+    total_slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.stress_level < 0:
+            raise ValueError("stress_level must be >= 0")
+        for name in ("private_slowdown", "shared_slowdown", "total_slowdown"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+class CongestionTable:
+    """Startup slowdowns and L3 misses per (generator, stress level, language)."""
+
+    def __init__(self, observations: Iterable[CongestionObservation] = ()) -> None:
+        self._entries: Dict[Tuple[GeneratorKind, int, Language], CongestionObservation] = {}
+        for observation in observations:
+            self.add(observation)
+
+    def add(self, observation: CongestionObservation) -> None:
+        key = (observation.generator, observation.stress_level, observation.language)
+        if key in self._entries:
+            raise ValueError(
+                f"duplicate congestion entry for generator={key[0].value}, "
+                f"level={key[1]}, language={key[2].value}"
+            )
+        self._entries[key] = observation
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, generator: GeneratorKind, stress_level: int, language: Language
+    ) -> CongestionObservation:
+        key = (generator, stress_level, language)
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise KeyError(
+                f"no congestion entry for generator={generator.value}, "
+                f"level={stress_level}, language={language.value}"
+            ) from None
+
+    def entries(
+        self,
+        generator: Optional[GeneratorKind] = None,
+        language: Optional[Language] = None,
+    ) -> List[CongestionObservation]:
+        """All entries, optionally filtered, sorted by stress level."""
+        result = [
+            obs
+            for obs in self._entries.values()
+            if (generator is None or obs.generator is generator)
+            and (language is None or obs.language is language)
+        ]
+        return sorted(result, key=lambda o: (o.generator.value, o.language.value, o.stress_level))
+
+    def stress_levels(self, generator: GeneratorKind) -> List[int]:
+        return sorted({obs.stress_level for obs in self._entries.values() if obs.generator is generator})
+
+    def languages(self) -> List[Language]:
+        return sorted({obs.language for obs in self._entries.values()}, key=lambda l: l.value)
+
+    def rows(self) -> List[Mapping[str, object]]:
+        """Render the table for reporting (one dict per entry)."""
+        return [
+            {
+                "generator": obs.generator.value,
+                "stress_level": obs.stress_level,
+                "language": obs.language.value,
+                "startup_private_slowdown": obs.private_slowdown,
+                "startup_shared_slowdown": obs.shared_slowdown,
+                "startup_total_slowdown": obs.total_slowdown,
+                "machine_l3_misses": obs.machine_l3_misses,
+            }
+            for obs in self.entries()
+        ]
+
+
+class PerformanceTable:
+    """Reference-set slowdowns per (generator, stress level)."""
+
+    def __init__(self, observations: Iterable[PerformanceObservation] = ()) -> None:
+        self._entries: Dict[Tuple[GeneratorKind, int], PerformanceObservation] = {}
+        for observation in observations:
+            self.add(observation)
+
+    def add(self, observation: PerformanceObservation) -> None:
+        key = (observation.generator, observation.stress_level)
+        if key in self._entries:
+            raise ValueError(
+                f"duplicate performance entry for generator={key[0].value}, level={key[1]}"
+            )
+        self._entries[key] = observation
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, generator: GeneratorKind, stress_level: int) -> PerformanceObservation:
+        try:
+            return self._entries[(generator, stress_level)]
+        except KeyError:
+            raise KeyError(
+                f"no performance entry for generator={generator.value}, level={stress_level}"
+            ) from None
+
+    def entries(self, generator: Optional[GeneratorKind] = None) -> List[PerformanceObservation]:
+        result = [
+            obs
+            for obs in self._entries.values()
+            if generator is None or obs.generator is generator
+        ]
+        return sorted(result, key=lambda o: (o.generator.value, o.stress_level))
+
+    def stress_levels(self, generator: GeneratorKind) -> List[int]:
+        return sorted({obs.stress_level for obs in self._entries.values() if obs.generator is generator})
+
+    def rows(self) -> List[Mapping[str, object]]:
+        return [
+            {
+                "generator": obs.generator.value,
+                "stress_level": obs.stress_level,
+                "reference_private_slowdown": obs.private_slowdown,
+                "reference_shared_slowdown": obs.shared_slowdown,
+                "reference_total_slowdown": obs.total_slowdown,
+            }
+            for obs in self.entries()
+        ]

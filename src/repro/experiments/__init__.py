@@ -1,0 +1,45 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+``config`` defines the named environment presets (co-runner counts, sharing
+degree, machine, pricing method) matching the paper's evaluation sections;
+``harness`` provides the shared machinery (characterization runs, price
+evaluation runs, figure-result containers); the ``figXX_*`` modules
+regenerate the corresponding figure's rows or series.  Every module exposes a
+``run(config=None)`` function returning a :class:`repro.experiments.harness.FigureResult`.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PricingMethod,
+    one_per_core,
+    sharing_160,
+    heavy_320,
+    unfixed_frequency_160,
+    icelake_70,
+    sharing_240_reused,
+    smt_160,
+)
+from repro.experiments.harness import (
+    CharacterizationResult,
+    FigureResult,
+    PriceEvaluationResult,
+    run_characterization,
+    run_price_evaluation,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PricingMethod",
+    "one_per_core",
+    "sharing_160",
+    "heavy_320",
+    "unfixed_frequency_160",
+    "icelake_70",
+    "sharing_240_reused",
+    "smt_160",
+    "CharacterizationResult",
+    "FigureResult",
+    "PriceEvaluationResult",
+    "run_characterization",
+    "run_price_evaluation",
+]

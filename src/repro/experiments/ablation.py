@@ -1,0 +1,236 @@
+"""Ablations of Litmus design choices.
+
+DESIGN.md calls out the design decisions worth isolating:
+
+* **Split rates vs a single rate** — Equation 2 charges ``T_private`` and
+  ``T_shared`` with separate discounted rates; the ablation re-prices every
+  invocation with a single blended rate derived from the estimated *total*
+  slowdown and compares the error against the ideal price.
+* **Logarithmic vs linear interpolation** — the L3-miss blending between the
+  CT-Gen and MB-Gen predictions is logarithmic in the paper; the ablation
+  recomputes the blend with a linear weight.
+* **Reference-set size** — how much accuracy the provider loses by
+  profiling fewer reference functions when building the performance table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.stats import geometric_mean
+from repro.core.calibration import Calibrator
+from repro.core.estimator import CongestionEstimator
+from repro.core.pricing import IdealPricing, LitmusPricingEngine
+from repro.core.regression import log_interpolation_weight
+from repro.experiments.config import ExperimentConfig, one_per_core
+from repro.experiments.harness import (
+    FigureResult,
+    build_environment,
+    calibration_for,
+    oracle_for,
+    registry_for,
+)
+from repro.platform.engine import EngineConfig
+from repro.workloads.registry import FunctionRegistry
+from repro.workloads.traffic import GeneratorKind
+
+
+def _evaluation_quotes(config: ExperimentConfig):
+    """Run the evaluation environment once and return (spec, quotes, solo)."""
+    registry = registry_for(config)
+    oracle = oracle_for(config)
+    calibration = calibration_for(config)
+    pricer = LitmusPricingEngine(CongestionEstimator(calibration))
+    ideal = IdealPricing()
+
+    test_specs = registry.test_functions()
+    engine, group = build_environment(config, test_specs)
+    finished = engine.run_until(lambda eng: group.done, max_seconds=config.max_seconds)
+    if not finished:
+        raise RuntimeError(f"ablation run {config.name!r} did not finish in time")
+
+    per_spec = []
+    for spec in test_specs:
+        invocations = group.completed_by_spec()[spec.abbreviation]
+        quotes = [pricer.quote(inv) for inv in invocations]
+        solo = oracle.profile(spec)
+        ideal_price = ideal.price(spec.memory_gb, solo)
+        per_spec.append((spec, quotes, ideal_price))
+    return per_spec
+
+
+def run_rate_split_ablation(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Split private/shared rates (Eq. 2) vs one blended rate on total time."""
+    config = config or one_per_core()
+    per_spec = _evaluation_quotes(config)
+
+    rows: List[Mapping[str, object]] = []
+    split_errors: List[float] = []
+    single_errors: List[float] = []
+    for spec, quotes, ideal_price in per_spec:
+        split_prices = []
+        single_prices = []
+        for quote in quotes:
+            split_prices.append(quote.litmus.total)
+            single_rate = 1.0 / quote.estimate.total_slowdown
+            single_prices.append(quote.commercial.total * single_rate)
+        split_error = abs(
+            sum(split_prices) / len(split_prices) - ideal_price.total
+        ) / ideal_price.total
+        single_error = abs(
+            sum(single_prices) / len(single_prices) - ideal_price.total
+        ) / ideal_price.total
+        split_errors.append(max(split_error, 1e-6))
+        single_errors.append(max(single_error, 1e-6))
+        rows.append(
+            {
+                "function": spec.abbreviation,
+                "split_rate_abs_error": split_error,
+                "single_rate_abs_error": single_error,
+            }
+        )
+    return FigureResult(
+        name="ablation-rate-split",
+        description="Ablation: split private/shared rates vs a single blended rate",
+        columns=("function", "split_rate_abs_error", "single_rate_abs_error"),
+        rows=tuple(rows),
+        summary={
+            "split_rate_abs_error_geomean": geometric_mean(split_errors),
+            "single_rate_abs_error_geomean": geometric_mean(single_errors),
+        },
+    )
+
+
+def run_interpolation_ablation(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Logarithmic vs linear blending of the CT-Gen / MB-Gen predictions."""
+    config = config or one_per_core()
+    per_spec = _evaluation_quotes(config)
+
+    rows: List[Mapping[str, object]] = []
+    log_errors: List[float] = []
+    linear_errors: List[float] = []
+    for spec, quotes, ideal_price in per_spec:
+        log_prices = []
+        linear_prices = []
+        for quote in quotes:
+            log_prices.append(quote.litmus.total)
+            predictions = quote.estimate.predictions
+            ct = predictions[GeneratorKind.CT]
+            mb = predictions[GeneratorKind.MB]
+            low, high = sorted((ct.expected_l3_misses, mb.expected_l3_misses))
+            observed = quote.observation.machine_l3_misses
+            if high - low < 1e-9:
+                weight = 0.5
+            else:
+                weight = min(max((observed - low) / (high - low), 0.0), 1.0)
+            if mb.expected_l3_misses < ct.expected_l3_misses:
+                weight = 1.0 - weight
+            private = (1 - weight) * ct.private_slowdown + weight * mb.private_slowdown
+            shared = (1 - weight) * ct.shared_slowdown + weight * mb.shared_slowdown
+            components = quote.components
+            price = components.memory_gb * (
+                components.t_private_seconds / max(private, 1.0)
+                + components.t_shared_seconds / max(shared, 1.0)
+            )
+            linear_prices.append(price)
+        log_error = abs(sum(log_prices) / len(log_prices) - ideal_price.total) / ideal_price.total
+        linear_error = abs(
+            sum(linear_prices) / len(linear_prices) - ideal_price.total
+        ) / ideal_price.total
+        log_errors.append(max(log_error, 1e-6))
+        linear_errors.append(max(linear_error, 1e-6))
+        rows.append(
+            {
+                "function": spec.abbreviation,
+                "log_interp_abs_error": log_error,
+                "linear_interp_abs_error": linear_error,
+            }
+        )
+    return FigureResult(
+        name="ablation-interpolation",
+        description="Ablation: logarithmic vs linear interpolation on L3 misses",
+        columns=("function", "log_interp_abs_error", "linear_interp_abs_error"),
+        rows=tuple(rows),
+        summary={
+            "log_interp_abs_error_geomean": geometric_mean(log_errors),
+            "linear_interp_abs_error_geomean": geometric_mean(linear_errors),
+        },
+    )
+
+
+def _registry_with_reference_subset(
+    registry: FunctionRegistry, reference_count: int
+) -> FunctionRegistry:
+    """Keep only the first ``reference_count`` reference functions starred."""
+    references = [spec.abbreviation for spec in registry.reference_functions()]
+    keep = set(references[:reference_count])
+    specs = []
+    for spec in registry.all():
+        if spec.is_reference and spec.abbreviation not in keep:
+            specs.append(replace(spec, is_reference=False))
+        else:
+            specs.append(spec)
+    return FunctionRegistry(specs)
+
+
+def run_reference_count_ablation(
+    config: Optional[ExperimentConfig] = None,
+    reference_counts: Sequence[int] = (3, 7, 13),
+    stress_levels: Sequence[int] = (6, 14),
+) -> FigureResult:
+    """Accuracy of the average discount vs the number of reference functions."""
+    config = config or one_per_core()
+    registry = registry_for(config)
+    oracle = oracle_for(config)
+    ideal = IdealPricing()
+
+    # One shared evaluation environment: the reference count only changes the
+    # provider-side tables, not the tenant workloads.
+    test_specs = registry.test_functions()
+    engine, group = build_environment(config, test_specs)
+    finished = engine.run_until(lambda eng: group.done, max_seconds=config.max_seconds)
+    if not finished:
+        raise RuntimeError("reference-count ablation run did not finish in time")
+    invocations_by_spec = group.completed_by_spec()
+
+    rows: List[Mapping[str, object]] = []
+    summary: Dict[str, float] = {}
+    for count in reference_counts:
+        subset_registry = _registry_with_reference_subset(registry, count)
+        calibration = Calibrator(
+            config.machine,
+            subset_registry,
+            config.calibration_scenario,
+            stress_levels=stress_levels,
+            engine_config=EngineConfig(epoch_seconds=config.epoch_seconds),
+            oracle=oracle,
+        ).calibrate()
+        pricer = LitmusPricingEngine(CongestionEstimator(calibration))
+        litmus_norm = []
+        ideal_norm = []
+        for spec in test_specs:
+            quotes = [pricer.quote(inv) for inv in invocations_by_spec[spec.abbreviation]]
+            ideal_price = ideal.price(spec.memory_gb, oracle.profile(spec))
+            litmus_norm.append(geometric_mean(q.normalized_price for q in quotes))
+            ideal_norm.append(
+                geometric_mean(ideal_price.total / q.commercial.total for q in quotes)
+            )
+        litmus_discount = 1.0 - geometric_mean(litmus_norm)
+        ideal_discount = 1.0 - geometric_mean(ideal_norm)
+        rows.append(
+            {
+                "reference_functions": count,
+                "litmus_discount": litmus_discount,
+                "ideal_discount": ideal_discount,
+                "discount_gap": litmus_discount - ideal_discount,
+            }
+        )
+        summary[f"gap_with_{count}_references"] = litmus_discount - ideal_discount
+    return FigureResult(
+        name="ablation-reference-count",
+        description="Ablation: discount accuracy vs number of reference functions",
+        columns=("reference_functions", "litmus_discount", "ideal_discount", "discount_gap"),
+        rows=tuple(rows),
+        summary=summary,
+    )

@@ -1,0 +1,37 @@
+"""Figure 2: execution-time slowdown of each benchmark with 26 co-runners.
+
+The paper reports functions slowing by up to ~35 % with a geometric mean of
+~11.5 % when 26 other randomly selected functions share the machine (one
+function per core).  This module runs the characterization harness in that
+environment and reports the per-function total slowdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.experiments.config import ExperimentConfig, one_per_core
+from repro.experiments.harness import FigureResult, run_characterization
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Figure 2 (normalized execution time with 26 co-runners)."""
+    config = config or one_per_core()
+    result = run_characterization(config)
+    rows: list[Mapping[str, object]] = [
+        {"function": f.function, "normalized_execution_time": f.total_slowdown}
+        for f in result.functions
+    ]
+    rows.append(
+        {"function": "gmean", "normalized_execution_time": result.gmean_total_slowdown}
+    )
+    return FigureResult(
+        name="fig02",
+        description="Figure 2: execution time with 26 co-runners, normalized to solo",
+        columns=("function", "normalized_execution_time"),
+        rows=tuple(rows),
+        summary={
+            "gmean_slowdown": result.gmean_total_slowdown,
+            "max_slowdown": result.max_total_slowdown,
+        },
+    )

@@ -1,0 +1,55 @@
+"""Figure 4: how execution time splits between private and shared resources.
+
+Run alone, compute-heavy functions spend up to 99.96 % of their time on
+private resources while memory-heavy ones spend a sizeable fraction stalled
+on the shared L3 / memory system; that fraction determines how exposed each
+function is to congestion.  The split is measured on solo runs through the
+oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.experiments.config import ExperimentConfig, one_per_core
+from repro.experiments.harness import FigureResult, oracle_for, registry_for
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Figure 4 (T_private / T_shared share of solo execution)."""
+    config = config or one_per_core()
+    registry = registry_for(config)
+    oracle = oracle_for(config)
+
+    rows: list[Mapping[str, object]] = []
+    shared_fractions = []
+    for spec in registry.all():
+        execution = oracle.profile(spec).execution
+        shared_fraction = execution.shared_fraction
+        shared_fractions.append(shared_fraction)
+        rows.append(
+            {
+                "function": spec.abbreviation,
+                "t_private_fraction": 1.0 - shared_fraction,
+                "t_shared_fraction": shared_fraction,
+            }
+        )
+    mean_shared = sum(shared_fractions) / len(shared_fractions)
+    rows.append(
+        {
+            "function": "mean",
+            "t_private_fraction": 1.0 - mean_shared,
+            "t_shared_fraction": mean_shared,
+        }
+    )
+    return FigureResult(
+        name="fig04",
+        description="Figure 4: solo execution-time split between private and shared resources",
+        columns=("function", "t_private_fraction", "t_shared_fraction"),
+        rows=tuple(rows),
+        summary={
+            "mean_shared_fraction": mean_shared,
+            "max_private_fraction": max(1.0 - f for f in shared_fractions),
+            "min_private_fraction": min(1.0 - f for f in shared_fractions),
+        },
+    )

@@ -1,0 +1,56 @@
+"""Figure 5: the congestion and performance tables.
+
+The figure in the paper illustrates the two tables the provider builds
+offline; this module regenerates their contents for the default calibration
+(startup slowdowns + machine L3 misses per generator/level/language, and
+reference-set slowdowns per generator/level).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.experiments.config import ExperimentConfig, one_per_core
+from repro.experiments.harness import FigureResult, calibration_for
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Figure 5 (congestion + performance table contents)."""
+    config = config or one_per_core()
+    calibration = calibration_for(config)
+
+    rows: list[Mapping[str, object]] = []
+    for entry in calibration.congestion_table.rows():
+        rows.append({"table": "congestion", **entry})
+    for entry in calibration.performance_table.rows():
+        rows.append({"table": "performance", **entry})
+
+    performance_entries = calibration.performance_table.entries()
+    congestion_entries = calibration.congestion_table.entries()
+    return FigureResult(
+        name="fig05",
+        description="Figure 5: congestion and performance tables",
+        columns=(
+            "table",
+            "generator",
+            "stress_level",
+            "language",
+            "startup_private_slowdown",
+            "startup_shared_slowdown",
+            "machine_l3_misses",
+            "reference_private_slowdown",
+            "reference_shared_slowdown",
+            "reference_total_slowdown",
+        ),
+        rows=tuple(rows),
+        summary={
+            "congestion_entries": float(len(congestion_entries)),
+            "performance_entries": float(len(performance_entries)),
+            "max_reference_total_slowdown": max(
+                e.total_slowdown for e in performance_entries
+            ),
+            "max_startup_shared_slowdown": max(
+                e.shared_slowdown for e in congestion_entries
+            ),
+        },
+    )

@@ -1,0 +1,87 @@
+"""Figure 7: Litmus tests observing congestion rise and fall over time.
+
+The paper's cartoon shows four cores running functions back to back, with
+the Litmus test at each function's startup reporting the congestion level of
+the moment.  The reproduction runs a small four-core scenario with churn and
+reports, for every completed startup window, the congestion (total slowdown)
+the Litmus estimator infers from that probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Mapping, Optional
+
+from repro.core.estimator import CongestionEstimator
+from repro.experiments.config import ExperimentConfig, one_per_core
+from repro.experiments.harness import (
+    FigureResult,
+    calibration_for,
+    registry_for,
+)
+from repro.hardware.cpu import CPU
+from repro.platform.churn import ChurnManager
+from repro.platform.engine import EngineConfig, SimulationEngine
+from repro.platform.metering import measure_startup
+from repro.platform.scheduler import DedicatedCoreScheduler
+from repro.workloads.synthetic import WorkloadMixer
+
+#: How long the four-core scenario runs (simulated seconds).
+_SCENARIO_SECONDS = 1.0
+_SCENARIO_CORES = 4
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Figure 7 (probe-observed congestion timeline on 4 cores)."""
+    config = config or one_per_core()
+    calibration = calibration_for(config)
+    estimator = CongestionEstimator(calibration)
+    probe = calibration.probe()
+    registry = registry_for(config)
+
+    cpu = CPU(config.machine)
+    engine = SimulationEngine(
+        cpu,
+        DedicatedCoreScheduler(allowed_threads=tuple(range(_SCENARIO_CORES))),
+        config=EngineConfig(epoch_seconds=config.epoch_seconds),
+    )
+    mixer = WorkloadMixer(registry.all(), seed=config.seed + 7)
+    churn = ChurnManager(mixer, _SCENARIO_CORES, thread_ids=list(range(_SCENARIO_CORES)))
+    churn.attach(engine)
+    engine.run_for(_SCENARIO_SECONDS)
+
+    rows: List[Mapping[str, object]] = []
+    estimates: List[float] = []
+    for invocation in engine.completed_invocations():
+        if not invocation.startup_recorded:
+            continue
+        observation = probe.observe_measurement(measure_startup(invocation))
+        estimate = estimator.estimate(observation)
+        estimates.append(estimate.total_slowdown)
+        rows.append(
+            {
+                "time_s": invocation.startup_end_time,
+                "thread": invocation.thread_id,
+                "function": invocation.spec.abbreviation,
+                "estimated_congestion_slowdown": estimate.total_slowdown,
+                "mb_weight": estimate.mb_weight,
+            }
+        )
+    rows.sort(key=lambda row: float(row["time_s"]))
+    return FigureResult(
+        name="fig07",
+        description="Figure 7: congestion observed by successive Litmus tests on 4 cores",
+        columns=(
+            "time_s",
+            "thread",
+            "function",
+            "estimated_congestion_slowdown",
+            "mb_weight",
+        ),
+        rows=tuple(rows),
+        summary={
+            "probes": float(len(rows)),
+            "min_estimated_slowdown": min(estimates) if estimates else 0.0,
+            "max_estimated_slowdown": max(estimates) if estimates else 0.0,
+        },
+    )

@@ -1,0 +1,64 @@
+"""Figure 13: per-function time splits against the Litmus discount lines.
+
+The figure plots each test function's ``T_private`` and ``T_shared`` when
+co-running (normalized to solo — bars below 1, the gap to 1 being the ideal
+discount) together with the system-wide discount rates Litmus derived from
+its probes (the two horizontal lines).  Functions whose bars sit above the
+line are under-compensated, those below are over-compensated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from repro.analysis.stats import geometric_mean
+from repro.experiments.config import ExperimentConfig, one_per_core
+from repro.experiments.harness import FigureResult, price_evaluation_cached
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Figure 13 (normalized time components vs discount rates)."""
+    config = config or one_per_core()
+    result = price_evaluation_cached(config)
+
+    rows: List[Mapping[str, object]] = []
+    for row in result.rows:
+        rows.append(
+            {
+                "function": row.function,
+                # The figure's bars: solo time relative to congested time.
+                "normalized_t_private": 1.0 / row.actual_private_slowdown,
+                "normalized_t_shared": 1.0 / row.actual_shared_slowdown,
+                # The figure's dotted lines: the rate Litmus charges.
+                "litmus_private_rate": 1.0 / row.estimated_private_slowdown,
+                "litmus_shared_rate": 1.0 / row.estimated_shared_slowdown,
+            }
+        )
+    gmean_private_rate = geometric_mean(
+        1.0 / row.estimated_private_slowdown for row in result.rows
+    )
+    gmean_shared_rate = geometric_mean(
+        1.0 / row.estimated_shared_slowdown for row in result.rows
+    )
+    return FigureResult(
+        name="fig13",
+        description="Figure 13: normalized T_private/T_shared vs Litmus discount rates",
+        columns=(
+            "function",
+            "normalized_t_private",
+            "normalized_t_shared",
+            "litmus_private_rate",
+            "litmus_shared_rate",
+        ),
+        rows=tuple(rows),
+        summary={
+            "gmean_private_rate": gmean_private_rate,
+            "gmean_shared_rate": gmean_shared_rate,
+            "gmean_actual_private_slowdown": geometric_mean(
+                row.actual_private_slowdown for row in result.rows
+            ),
+            "gmean_actual_shared_slowdown": geometric_mean(
+                row.actual_shared_slowdown for row in result.rows
+            ),
+        },
+    )

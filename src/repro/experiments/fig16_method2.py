@@ -1,0 +1,29 @@
+"""Figure 16: Method 2 pricing with 160 co-running functions.
+
+Method 2 rebuilds the congestion/performance tables inside the temporally
+shared environment (50 functions over 5 cores during calibration).  The
+paper reports the Litmus discount landing within 0.2 % of the ideal 17.4 %
+discount — the headline result of the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig, PricingMethod, sharing_160
+from repro.experiments.harness import (
+    FigureResult,
+    price_evaluation_cached,
+    price_figure_result,
+)
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Figure 16 (Method 2, 160 co-running functions)."""
+    config = config or sharing_160(PricingMethod.METHOD2)
+    result = price_evaluation_cached(config)
+    return price_figure_result(
+        "fig16",
+        "Figure 16: Litmus (Method 2) vs ideal prices with 160 co-runners",
+        result,
+    )

@@ -1,0 +1,29 @@
+"""Figure 19: a different CPU — Xeon Silver 4314 (Ice Lake).
+
+The sensitivity study repeats the Method 2 evaluation on an Ice Lake server
+with less memory (70 co-running functions over 7 cores, tables built with 50
+functions over 5 cores).  The paper reports tenants paying 82.5 % of the
+commercial price, within 0.7 % of the ideal price.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig, icelake_70
+from repro.experiments.harness import (
+    FigureResult,
+    price_evaluation_cached,
+    price_figure_result,
+)
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Figure 19 (Method 2 on Ice Lake, 70 co-runners)."""
+    config = config or icelake_70()
+    result = price_evaluation_cached(config)
+    return price_figure_result(
+        "fig19",
+        "Figure 19: Litmus (Method 2) vs ideal prices on Xeon Silver 4314",
+        result,
+    )

@@ -1,0 +1,38 @@
+"""Table 1: the serverless benchmark suite and its language runtimes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig, one_per_core
+from repro.experiments.harness import FigureResult
+from repro.workloads.registry import default_registry, table1_rows
+from repro.workloads.runtimes import Language
+
+
+def run(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Regenerate Table 1 (benchmarks, suites, runtimes, reference marks)."""
+    registry = default_registry()
+    rows = table1_rows()
+    return FigureResult(
+        name="table1",
+        description="Table 1: serverless benchmarks and language runtimes",
+        columns=(
+            "abbreviation",
+            "name",
+            "suite",
+            "language",
+            "reference",
+            "memory_mb",
+            "body_instructions",
+        ),
+        rows=tuple(rows),
+        summary={
+            "functions": float(len(registry)),
+            "reference_functions": float(len(registry.reference_functions())),
+            "test_functions": float(len(registry.test_functions())),
+            "python_functions": float(len(registry.by_language(Language.PYTHON))),
+            "nodejs_functions": float(len(registry.by_language(Language.NODEJS))),
+            "go_functions": float(len(registry.by_language(Language.GO))),
+        },
+    )

@@ -1,0 +1,60 @@
+"""Hardware substrate: machine topologies, contention models and counters.
+
+The paper runs on real Cascade Lake / Ice Lake Xeons and reads hardware
+performance-monitoring counters through Linux perf.  This package replaces
+that testbed with an analytic model that exposes the *same observables*:
+
+* per-invocation cycles, instructions, L2 misses, L3 misses and cycles
+  stalled on L2 misses (the counter Litmus uses to split execution time into
+  ``T_private`` and ``T_shared``), and
+* machine-wide L3 miss counts (the supplementary probe metric of Section 6).
+
+The central abstraction is :class:`repro.hardware.contention.ContentionModel`
+which, given the set of currently-active workload demands, returns effective
+L3 hit fractions and latencies for every workload.  The platform engine uses
+those to advance each invocation's progress epoch by epoch.
+"""
+
+from repro.hardware.topology import (
+    CacheSpec,
+    MachineSpec,
+    CASCADE_LAKE_5218,
+    ICE_LAKE_4314,
+    machine_by_name,
+)
+from repro.hardware.pmu import CounterSnapshot, PMUCounters
+from repro.hardware.cache import SharedCacheModel, CacheAllocation
+from repro.hardware.memory import MemoryBandwidthModel
+from repro.hardware.uncore import RingBandwidthModel
+from repro.hardware.frequency import FrequencyGovernor, FrequencyPolicy
+from repro.hardware.contention import (
+    ContentionModel,
+    ContentionParameters,
+    WorkloadDemand,
+    SharedResourcePenalty,
+)
+from repro.hardware.core import Core, HardwareThread
+from repro.hardware.cpu import CPU
+
+__all__ = [
+    "CacheSpec",
+    "MachineSpec",
+    "CASCADE_LAKE_5218",
+    "ICE_LAKE_4314",
+    "machine_by_name",
+    "CounterSnapshot",
+    "PMUCounters",
+    "SharedCacheModel",
+    "CacheAllocation",
+    "MemoryBandwidthModel",
+    "RingBandwidthModel",
+    "FrequencyGovernor",
+    "FrequencyPolicy",
+    "ContentionModel",
+    "ContentionParameters",
+    "WorkloadDemand",
+    "SharedResourcePenalty",
+    "Core",
+    "HardwareThread",
+    "CPU",
+]

@@ -1,0 +1,147 @@
+"""Shared last-level-cache capacity model.
+
+When many functions run together they compete for L3 capacity.  The model
+used here follows the spirit of utility-based cache partitioning studies:
+each active workload occupies a share of the L3 proportional to the pressure
+it exerts (its rate of requests arriving at the L3), capped at its working
+set; leftover capacity is redistributed to workloads that can still use it.
+
+Given an allocation, a workload's effective L3 hit fraction degrades from its
+solo hit fraction following a concave utility curve: a workload that receives
+half the capacity it needs retains noticeably more than half of its hits
+(temporal locality means the hottest blocks stay resident), but the hit rate
+falls steeply once the allocation becomes a small fraction of the working
+set.  The exponent of that curve is a model parameter
+(:class:`repro.hardware.contention.ContentionParameters.cache_utility_exponent`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class CacheDemand:
+    """One workload's demand on the shared cache during an epoch."""
+
+    workload_id: int
+    #: Requests per second arriving at the L3 (i.e. the L2 miss rate).
+    request_rate: float
+    #: Cache footprint the workload would like resident, in MB.
+    working_set_mb: float
+    #: Fraction of L3 lookups that hit when the workload runs alone.
+    solo_hit_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.request_rate < 0:
+            raise ValueError("request_rate must be >= 0")
+        if self.working_set_mb < 0:
+            raise ValueError("working_set_mb must be >= 0")
+        if not 0.0 <= self.solo_hit_fraction <= 1.0:
+            raise ValueError("solo_hit_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CacheAllocation:
+    """The outcome of capacity sharing for one workload."""
+
+    workload_id: int
+    allocated_mb: float
+    hit_fraction: float
+
+
+class SharedCacheModel:
+    """Pressure-weighted occupancy model for a shared L3 cache."""
+
+    def __init__(self, capacity_mb: float, utility_exponent: float = 0.40) -> None:
+        if capacity_mb <= 0:
+            raise ValueError("capacity_mb must be positive")
+        if utility_exponent <= 0 or utility_exponent > 1.0:
+            raise ValueError("utility_exponent must be in (0, 1]")
+        self._capacity_mb = capacity_mb
+        self._utility_exponent = utility_exponent
+
+    @property
+    def capacity_mb(self) -> float:
+        return self._capacity_mb
+
+    def allocate(self, demands: Sequence[CacheDemand]) -> Mapping[int, CacheAllocation]:
+        """Split capacity among ``demands`` and derive effective hit fractions.
+
+        The allocation is a water-filling of capacity weighted by request
+        rate: workloads whose proportional share exceeds their working set
+        are capped at the working set and the surplus is re-offered to the
+        rest.  Workloads with zero request rate receive no allocation (they
+        are not touching the L3 this epoch) but keep their solo hit fraction
+        because they are not being evicted into either.
+        """
+        result: dict[int, CacheAllocation] = {}
+        active = [d for d in demands if d.request_rate > 0 and d.working_set_mb > 0]
+        active_ids = {d.workload_id for d in active}
+        inactive = [d for d in demands if d.workload_id not in active_ids]
+
+        for demand in inactive:
+            result[demand.workload_id] = CacheAllocation(
+                workload_id=demand.workload_id,
+                allocated_mb=min(demand.working_set_mb, self._capacity_mb),
+                hit_fraction=demand.solo_hit_fraction,
+            )
+
+        allocations = self._water_fill(active)
+        for demand in active:
+            allocated = allocations[demand.workload_id]
+            result[demand.workload_id] = CacheAllocation(
+                workload_id=demand.workload_id,
+                allocated_mb=allocated,
+                hit_fraction=self.effective_hit_fraction(demand, allocated),
+            )
+        return result
+
+    def effective_hit_fraction(self, demand: CacheDemand, allocated_mb: float) -> float:
+        """Hit fraction achieved with ``allocated_mb`` of cache.
+
+        When the allocation covers the footprint the workload keeps its solo
+        hit fraction; otherwise the hit fraction shrinks along the concave
+        utility curve ``(alloc / need)^utility_exponent``.
+        """
+        need_mb = min(demand.working_set_mb, self._capacity_mb)
+        if need_mb <= 0:
+            return demand.solo_hit_fraction
+        coverage = min(max(allocated_mb / need_mb, 0.0), 1.0)
+        return demand.solo_hit_fraction * coverage**self._utility_exponent
+
+    def _water_fill(self, demands: Sequence[CacheDemand]) -> dict[int, float]:
+        """Distribute capacity proportional to request rate, capped at need."""
+        remaining_capacity = self._capacity_mb
+        remaining = {d.workload_id: d for d in demands}
+        allocations: dict[int, float] = {d.workload_id: 0.0 for d in demands}
+
+        # Iterate until no workload is capped or nothing is left to give.
+        # Each pass removes at least one capped workload, so the loop is
+        # bounded by the number of demands.
+        for _ in range(len(demands) + 1):
+            if not remaining or remaining_capacity <= 1e-12:
+                break
+            total_rate = sum(d.request_rate for d in remaining.values())
+            if total_rate <= 0:
+                break
+            capped: list[int] = []
+            for workload_id, demand in remaining.items():
+                share = remaining_capacity * demand.request_rate / total_rate
+                need = min(demand.working_set_mb, self._capacity_mb)
+                if share >= need - allocations[workload_id]:
+                    capped.append(workload_id)
+            if not capped:
+                for workload_id, demand in remaining.items():
+                    share = remaining_capacity * demand.request_rate / total_rate
+                    allocations[workload_id] += share
+                remaining_capacity = 0.0
+                break
+            for workload_id in capped:
+                demand = remaining.pop(workload_id)
+                need = min(demand.working_set_mb, self._capacity_mb)
+                grant = need - allocations[workload_id]
+                allocations[workload_id] = need
+                remaining_capacity -= grant
+        return allocations

@@ -1,0 +1,85 @@
+"""Co-runner churn.
+
+The paper keeps the congestion level steady by maintaining a fixed number of
+co-running functions: "whenever a function finishes, a new randomly-selected
+function is launched".  :class:`ChurnManager` implements exactly that on top
+of the engine: it owns a set of *churn* invocations, tops the set up to the
+target count, and resubmits a fresh random workload whenever one of its
+invocations completes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.platform.invoker import Invocation
+from repro.workloads.synthetic import WorkloadMixer
+
+#: Tag value the churn manager stamps on the invocations it owns.
+CHURN_ROLE = "churn"
+
+
+class ChurnManager:
+    """Keeps ``target_count`` randomly selected co-runners alive."""
+
+    def __init__(
+        self,
+        mixer: WorkloadMixer,
+        target_count: int,
+        thread_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        if target_count < 0:
+            raise ValueError("target_count must be >= 0")
+        self._mixer = mixer
+        self._target_count = target_count
+        self._thread_ids = None if thread_ids is None else list(thread_ids)
+        self._active: Dict[int, Invocation] = {}
+        self._launched = 0
+
+    @property
+    def target_count(self) -> int:
+        return self._target_count
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def launched_count(self) -> int:
+        """Total number of churn invocations launched so far."""
+        return self._launched
+
+    def attach(self, engine: "SimulationEngine") -> None:  # noqa: F821
+        """Register with an engine and launch the initial co-runners."""
+        engine.add_finish_listener(self._on_finish)
+        self.top_up(engine)
+
+    def top_up(self, engine: "SimulationEngine") -> None:  # noqa: F821
+        """Submit churn invocations until the target count is reached."""
+        while len(self._active) < self._target_count:
+            spec = self._mixer.next()
+            thread_id = self._pick_thread(engine)
+            invocation = engine.submit(
+                spec, thread_id=thread_id, tags={"role": CHURN_ROLE}
+            )
+            self._active[invocation.invocation_id] = invocation
+            self._launched += 1
+
+    def _pick_thread(self, engine: "SimulationEngine") -> Optional[int]:  # noqa: F821
+        if self._thread_ids is None:
+            return None
+        # Spread churn invocations across the allowed threads evenly.
+        best_thread = None
+        best_occupancy = None
+        for thread_id in self._thread_ids:
+            occupancy = engine.cpu.thread(thread_id).occupancy
+            if best_occupancy is None or occupancy < best_occupancy:
+                best_thread = thread_id
+                best_occupancy = occupancy
+        return best_thread
+
+    def _on_finish(self, invocation: Invocation, engine: "SimulationEngine") -> None:  # noqa: F821
+        if invocation.invocation_id not in self._active:
+            return
+        del self._active[invocation.invocation_id]
+        self.top_up(engine)

@@ -1,0 +1,414 @@
+"""The epoch-driven simulation engine.
+
+The engine advances simulated time in fixed epochs (1 ms by default).  Every
+epoch it:
+
+1. collects the runnable invocations on every hardware thread and gives each
+   an equal share of the epoch (temporal sharing),
+2. iterates the hardware contention model to a fixed point — the miss
+   *rates* each invocation generates depend on how fast it can run, which in
+   turn depends on everybody's miss rates,
+3. advances every invocation's phase cursor by the instructions its cycle
+   budget allows, splitting the consumed cycles into private cycles and
+   cycles stalled on L2 misses, and accumulating both per-invocation and
+   machine-wide performance counters,
+4. records startup-window (Litmus probe) snapshots and completion events.
+
+All randomness lives outside the engine (in workload selection); given the
+same submissions the engine is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.contention import SharedResourcePenalty, WorkloadDemand
+from repro.hardware.cpu import CPU
+from repro.platform.events import Event, EventKind, EventLog
+from repro.platform.invoker import Invocation, InvocationState
+from repro.platform.sandbox import Sandbox
+from repro.platform.scheduler import Scheduler, SwitchingOverheadModel
+from repro.workloads.function import FunctionSpec
+
+FinishListener = Callable[[Invocation, "SimulationEngine"], None]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine time-stepping parameters."""
+
+    epoch_seconds: float = 1e-3
+    fixed_point_iterations: int = 2
+    record_events: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        if self.fixed_point_iterations < 1:
+            raise ValueError("fixed_point_iterations must be >= 1")
+
+
+class SimulationEngine:
+    """Advances all active invocations under the contention model."""
+
+    def __init__(
+        self,
+        cpu: CPU,
+        scheduler: Scheduler,
+        config: Optional[EngineConfig] = None,
+        switching_overhead: Optional[SwitchingOverheadModel] = None,
+    ) -> None:
+        self._cpu = cpu
+        self._scheduler = scheduler
+        self._config = config or EngineConfig()
+        self._switching_overhead = switching_overhead or SwitchingOverheadModel()
+        self._time = 0.0
+        self._next_invocation_id = 0
+        self._next_sandbox_id = 0
+        self._invocations: Dict[int, Invocation] = {}
+        self._completed: List[Invocation] = []
+        self._finish_listeners: List[FinishListener] = []
+        self._penalty_cache: Dict[int, SharedResourcePenalty] = {}
+        self._event_log = EventLog()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cpu(self) -> CPU:
+        return self._cpu
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def switching_overhead(self) -> SwitchingOverheadModel:
+        return self._switching_overhead
+
+    @property
+    def time_seconds(self) -> float:
+        return self._time
+
+    @property
+    def event_log(self) -> EventLog:
+        return self._event_log
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    def invocation(self, invocation_id: int) -> Invocation:
+        try:
+            return self._invocations[invocation_id]
+        except KeyError:
+            raise KeyError(f"unknown invocation id {invocation_id}") from None
+
+    def active_invocations(self) -> List[Invocation]:
+        return [
+            inv for inv in self._invocations.values() if inv.state is InvocationState.RUNNING
+        ]
+
+    def completed_invocations(
+        self,
+        role: Optional[str] = None,
+        abbreviation: Optional[str] = None,
+    ) -> List[Invocation]:
+        """Completed invocations, optionally filtered by role tag and spec."""
+        result = []
+        for inv in self._completed:
+            if role is not None and inv.role() != role:
+                continue
+            if abbreviation is not None and inv.spec.abbreviation != abbreviation:
+                continue
+            result.append(inv)
+        return result
+
+    def add_finish_listener(self, listener: FinishListener) -> None:
+        self._finish_listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        spec: FunctionSpec,
+        *,
+        thread_id: Optional[int] = None,
+        tags: Optional[Dict[str, str]] = None,
+    ) -> Invocation:
+        """Create, place and start a new invocation of ``spec``.
+
+        The serverless platform modeled here starts invocations immediately
+        (cold-start queueing is outside the paper's scope), so submission
+        also transitions the invocation to RUNNING.
+        """
+        sandbox = Sandbox(
+            sandbox_id=self._next_sandbox_id,
+            memory_mb=spec.memory_mb,
+            language=spec.language,
+        )
+        self._next_sandbox_id += 1
+        invocation = Invocation(
+            invocation_id=self._next_invocation_id,
+            spec=spec,
+            sandbox=sandbox,
+            submit_time=self._time,
+            tags=dict(tags or {}),
+        )
+        self._next_invocation_id += 1
+        self._invocations[invocation.invocation_id] = invocation
+
+        placed_thread = (
+            thread_id if thread_id is not None else self._scheduler.place(invocation, self._cpu)
+        )
+        self._cpu.thread(placed_thread).enqueue(invocation.invocation_id)
+        invocation.mark_started(placed_thread, self._time)
+        invocation.machine_counters_at_start = self._cpu.global_counters.snapshot()
+
+        self._record_event(EventKind.SUBMIT, invocation)
+        self._record_event(EventKind.START, invocation)
+        return invocation
+
+    # ------------------------------------------------------------------ #
+    # Time stepping
+    # ------------------------------------------------------------------ #
+    def run_epoch(self) -> None:
+        """Advance simulated time by one epoch."""
+        dt = self._config.epoch_seconds
+        now = self._time + dt
+        runnable = self._collect_runnable(dt)
+        if not runnable:
+            self._cpu.global_counters.observe(elapsed_seconds=dt)
+            self._time = now
+            return
+
+        frequency_hz = self._cpu.governor.frequency_hz(self._cpu.active_thread_count)
+        penalties = self._fixed_point(runnable, frequency_hz, dt)
+        self._penalty_cache = dict(penalties)
+
+        finished: List[Invocation] = []
+        for invocation, share_seconds, occupancy in runnable:
+            penalty = penalties.get(invocation.invocation_id)
+            if penalty is None:
+                # The invocation had no current profile (already finished).
+                continue
+            self._advance_invocation(
+                invocation, share_seconds, occupancy, penalty, frequency_hz, dt
+            )
+            if not invocation.startup_recorded and not invocation.is_traffic_generator:
+                if invocation.cursor.startup_complete:
+                    invocation.record_startup_completion(
+                        now, self._cpu.global_counters.snapshot()
+                    )
+                    self._record_event(EventKind.STARTUP_COMPLETE, invocation, time=now)
+            if invocation.cursor.finished:
+                finished.append(invocation)
+
+        self._cpu.global_counters.observe(elapsed_seconds=dt)
+        self._time = now
+
+        for invocation in finished:
+            self._finish(invocation)
+
+    def run_for(self, seconds: float) -> None:
+        """Advance the simulation by (at least) ``seconds``."""
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        target = self._time + seconds
+        while self._time < target - 1e-12:
+            self.run_epoch()
+
+    def run_until(
+        self,
+        predicate: Callable[["SimulationEngine"], bool],
+        max_seconds: float,
+    ) -> bool:
+        """Run epochs until ``predicate(self)`` holds or the budget expires.
+
+        Returns ``True`` if the predicate was satisfied.
+        """
+        if max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        deadline = self._time + max_seconds
+        while self._time < deadline:
+            if predicate(self):
+                return True
+            self.run_epoch()
+        return predicate(self)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _collect_runnable(
+        self, dt: float
+    ) -> List[Tuple[Invocation, float, int]]:
+        runnable: List[Tuple[Invocation, float, int]] = []
+        for thread in self._cpu.threads:
+            if not thread.run_queue:
+                continue
+            occupancy = len(thread.run_queue)
+            share = dt / occupancy
+            for invocation_id in list(thread.run_queue):
+                invocation = self._invocations[invocation_id]
+                if invocation.state is InvocationState.RUNNING:
+                    runnable.append((invocation, share, occupancy))
+        return runnable
+
+    def _private_multiplier(self, invocation: Invocation, occupancy: int) -> float:
+        """Private-execution inflation from temporal sharing and SMT."""
+        multiplier = self._switching_overhead.factor(occupancy)
+        if invocation.thread_id is not None:
+            multiplier *= self._cpu.smt_private_penalty(invocation.thread_id)
+        return multiplier
+
+    def _fixed_point(
+        self,
+        runnable: Sequence[Tuple[Invocation, float, int]],
+        frequency_hz: float,
+        dt: float,
+    ) -> Dict[int, SharedResourcePenalty]:
+        machine = self._cpu.machine
+        penalties: Dict[int, SharedResourcePenalty] = dict(self._penalty_cache)
+        for _ in range(self._config.fixed_point_iterations):
+            demands: List[WorkloadDemand] = []
+            for invocation, share_seconds, occupancy in runnable:
+                profile = invocation.cursor.current_profile
+                if profile is None:
+                    continue
+                penalty = penalties.get(invocation.invocation_id)
+                if penalty is None:
+                    stall_per_inst = profile.solo_stall_cycles_per_instruction(
+                        machine.l3.latency_cycles, machine.memory_latency_cycles
+                    )
+                    private_inflation = 1.0
+                else:
+                    stall_per_inst = (profile.l2_mpki / 1000.0) * (
+                        penalty.stall_cycles_per_l2_miss(profile.mlp)
+                    )
+                    private_inflation = penalty.private_inflation
+                cpi_private = (
+                    profile.cpi_base
+                    * private_inflation
+                    * self._private_multiplier(invocation, occupancy)
+                )
+                cpi_effective = cpi_private + stall_per_inst
+                cycles_available = share_seconds * frequency_hz
+                instructions = min(
+                    cycles_available / cpi_effective,
+                    invocation.cursor.instructions_remaining,
+                )
+                l2_miss_rate = instructions * profile.l2_mpki / 1000.0 / dt
+                demands.append(
+                    WorkloadDemand(
+                        workload_id=invocation.invocation_id,
+                        l2_miss_rate=l2_miss_rate,
+                        working_set_mb=profile.working_set_mb,
+                        solo_l3_hit_fraction=profile.solo_l3_hit_fraction,
+                        mlp=profile.mlp,
+                    )
+                )
+            penalties = dict(self._cpu.contention.evaluate(demands))
+        return penalties
+
+    def _advance_invocation(
+        self,
+        invocation: Invocation,
+        share_seconds: float,
+        occupancy: int,
+        penalty: SharedResourcePenalty,
+        frequency_hz: float,
+        dt: float,
+    ) -> None:
+        budget_cycles = share_seconds * frequency_hz
+        total_cycles = 0.0
+        total_instructions = 0.0
+        total_stall = 0.0
+        total_l2 = 0.0
+        total_l3 = 0.0
+
+        while budget_cycles > 1.0 and not invocation.cursor.finished:
+            profile = invocation.cursor.current_profile
+            assert profile is not None  # finished is checked above
+            stall_per_instruction = (profile.l2_mpki / 1000.0) * (
+                penalty.stall_cycles_per_l2_miss(profile.mlp)
+            )
+            cpi_private = (
+                profile.cpi_base
+                * penalty.private_inflation
+                * self._private_multiplier(invocation, occupancy)
+            )
+            cpi_effective = cpi_private + stall_per_instruction
+            instructions_possible = budget_cycles / cpi_effective
+            retired = invocation.cursor.advance(instructions_possible)
+            if retired <= 0:
+                break
+            cycles = retired * cpi_effective
+            total_cycles += cycles
+            total_instructions += retired
+            total_stall += retired * stall_per_instruction
+            l2_misses = retired * profile.l2_mpki / 1000.0
+            total_l2 += l2_misses
+            total_l3 += l2_misses * (1.0 - penalty.l3_hit_fraction)
+            budget_cycles -= cycles
+            # Stop at the startup/body boundary so the Litmus-probe window is
+            # measured exactly over the startup instructions: spilling body
+            # work into the snapshot would bias the probe for functions with
+            # short startups.  The remaining epoch budget is forfeited once
+            # per invocation, which is negligible.
+            if (
+                not invocation.is_traffic_generator
+                and not invocation.startup_recorded
+                and invocation.cursor.startup_complete
+            ):
+                break
+
+        occupied_seconds = total_cycles / frequency_hz
+        context_switches = 1.0 if occupancy > 1 else 0.0
+        invocation.counters.observe(
+            cycles=total_cycles,
+            instructions=total_instructions,
+            stall_cycles_l2_miss=total_stall,
+            l2_misses=total_l2,
+            l3_misses=total_l3,
+            context_switches=context_switches,
+            elapsed_seconds=occupied_seconds,
+        )
+        self._cpu.global_counters.observe(
+            cycles=total_cycles,
+            instructions=total_instructions,
+            stall_cycles_l2_miss=total_stall,
+            l2_misses=total_l2,
+            l3_misses=total_l3,
+            context_switches=context_switches,
+        )
+        invocation.observe_occupancy(occupancy, dt)
+
+    def _finish(self, invocation: Invocation) -> None:
+        thread_id = invocation.thread_id
+        if thread_id is not None:
+            self._cpu.thread(thread_id).dequeue(invocation.invocation_id)
+        invocation.mark_finished(self._time)
+        self._completed.append(invocation)
+        self._record_event(EventKind.FINISH, invocation)
+        for listener in list(self._finish_listeners):
+            listener(invocation, self)
+
+    def _record_event(
+        self,
+        kind: EventKind,
+        invocation: Invocation,
+        time: Optional[float] = None,
+    ) -> None:
+        if not self._config.record_events:
+            return
+        self._event_log.append(
+            Event(
+                time_seconds=self._time if time is None else time,
+                kind=kind,
+                invocation_id=invocation.invocation_id,
+                function=invocation.spec.abbreviation,
+                thread_id=invocation.thread_id,
+            )
+        )

@@ -1,0 +1,68 @@
+"""Simulation event log.
+
+The engine records coarse lifecycle events (submission, start, completion of
+the startup window, completion of the invocation).  Figure 7 of the paper —
+the timeline of Litmus tests observing congestion rise and fall as functions
+come and go — is regenerated directly from this log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    SUBMIT = "submit"
+    START = "start"
+    STARTUP_COMPLETE = "startup-complete"
+    FINISH = "finish"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One lifecycle event."""
+
+    time_seconds: float
+    kind: EventKind
+    invocation_id: int
+    function: str
+    thread_id: Optional[int] = None
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only record of simulation events."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def append(self, event: Event) -> None:
+        if self._events and event.time_seconds < self._events[-1].time_seconds - 1e-9:
+            raise ValueError("events must be appended in time order")
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def all(self) -> List[Event]:
+        return list(self._events)
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        return [event for event in self._events if event.kind is kind]
+
+    def for_invocation(self, invocation_id: int) -> List[Event]:
+        return [
+            event for event in self._events if event.invocation_id == invocation_id
+        ]
+
+    def between(self, start_seconds: float, end_seconds: float) -> List[Event]:
+        return [
+            event
+            for event in self._events
+            if start_seconds <= event.time_seconds <= end_seconds
+        ]

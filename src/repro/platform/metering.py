@@ -1,0 +1,145 @@
+"""Perf-like metering of completed invocations.
+
+Litmus pricing needs two measurement windows per invocation:
+
+* the **whole execution**: occupied time split into ``T_private`` and
+  ``T_shared`` using the L2-miss stall-cycle counter (Section 5.2), and
+* the **startup window** (the Litmus probe): the same split restricted to
+  the language runtime's startup phases, plus the *machine-wide* L3 miss
+  count observed during that window (Section 6, step 3).
+
+Both are expressed here as value objects derived from an
+:class:`repro.platform.invoker.Invocation`'s counters, mirroring how the
+paper derives them from ``perf`` counter reads at phase boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.pmu import CounterSnapshot
+from repro.platform.invoker import Invocation
+
+
+@dataclass(frozen=True)
+class InvocationMeasurement:
+    """Billing-relevant measurements of one completed invocation."""
+
+    function: str
+    memory_gb: float
+    occupied_seconds: float
+    t_private_seconds: float
+    t_shared_seconds: float
+    instructions: float
+    cycles: float
+    l2_misses: float
+    l3_misses: float
+    mean_thread_occupancy: float
+
+    @property
+    def t_total_seconds(self) -> float:
+        return self.t_private_seconds + self.t_shared_seconds
+
+    @property
+    def shared_fraction(self) -> float:
+        if self.t_total_seconds <= 0:
+            return 0.0
+        return self.t_shared_seconds / self.t_total_seconds
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+@dataclass(frozen=True)
+class StartupMeasurement:
+    """Litmus-probe window readings for one invocation."""
+
+    function: str
+    language: str
+    instructions: float
+    t_private_seconds: float
+    t_shared_seconds: float
+    private_cycles: float
+    shared_cycles: float
+    wall_seconds: float
+    machine_l3_misses: float
+
+    @property
+    def t_total_seconds(self) -> float:
+        return self.t_private_seconds + self.t_shared_seconds
+
+
+def _split_seconds(snapshot: CounterSnapshot) -> tuple[float, float]:
+    """Split a window's occupied seconds into (private, shared) components.
+
+    The counters track cycles and the seconds the invocation occupied the
+    processor; seconds are apportioned by the cycle split so the result is
+    correct even when the clock frequency varied during the window.
+    """
+    if snapshot.cycles <= 0:
+        return 0.0, 0.0
+    shared_ratio = snapshot.shared_cycles / snapshot.cycles
+    shared_seconds = snapshot.elapsed_seconds * shared_ratio
+    private_seconds = snapshot.elapsed_seconds - shared_seconds
+    return private_seconds, shared_seconds
+
+
+def measure_invocation(invocation: Invocation) -> InvocationMeasurement:
+    """Derive the billing measurements of a completed invocation."""
+    if not invocation.is_completed:
+        raise ValueError(
+            f"invocation {invocation.invocation_id} has not completed; "
+            "metering requires a finished execution"
+        )
+    snapshot = invocation.counters.snapshot()
+    private_seconds, shared_seconds = _split_seconds(snapshot)
+    return InvocationMeasurement(
+        function=invocation.spec.abbreviation,
+        memory_gb=invocation.spec.memory_gb,
+        occupied_seconds=snapshot.elapsed_seconds,
+        t_private_seconds=private_seconds,
+        t_shared_seconds=shared_seconds,
+        instructions=snapshot.instructions,
+        cycles=snapshot.cycles,
+        l2_misses=snapshot.l2_misses,
+        l3_misses=snapshot.l3_misses,
+        mean_thread_occupancy=invocation.mean_thread_occupancy,
+    )
+
+
+def measure_startup(invocation: Invocation) -> StartupMeasurement:
+    """Derive the Litmus-probe readings from an invocation's startup window."""
+    if invocation.startup_counters is None:
+        raise ValueError(
+            f"invocation {invocation.invocation_id} has no recorded startup window"
+        )
+    if (
+        invocation.machine_counters_at_start is None
+        or invocation.machine_counters_at_startup_end is None
+    ):
+        raise ValueError(
+            f"invocation {invocation.invocation_id} is missing machine-wide "
+            "counter snapshots for its startup window"
+        )
+    snapshot = invocation.startup_counters
+    private_seconds, shared_seconds = _split_seconds(snapshot)
+    machine_delta = invocation.machine_counters_at_startup_end.delta(
+        invocation.machine_counters_at_start
+    )
+    wall_seconds = 0.0
+    if invocation.startup_end_time is not None and invocation.start_time is not None:
+        wall_seconds = invocation.startup_end_time - invocation.start_time
+    return StartupMeasurement(
+        function=invocation.spec.abbreviation,
+        language=invocation.spec.language.value,
+        instructions=snapshot.instructions,
+        t_private_seconds=private_seconds,
+        t_shared_seconds=shared_seconds,
+        private_cycles=snapshot.private_cycles,
+        shared_cycles=snapshot.shared_cycles,
+        wall_seconds=wall_seconds,
+        machine_l3_misses=machine_delta.l3_misses,
+    )

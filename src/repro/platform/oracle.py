@@ -1,0 +1,124 @@
+"""Solo-execution oracle.
+
+Several parts of the study need to know how a function performs when it has
+the machine to itself:
+
+* the **ideal price** discounts a tenant exactly by the slowdown it
+  experienced, which requires its interference-free execution time;
+* the **charging rates** (Equation 3) are defined against solo times;
+* the Litmus probe's slowdown is the measured startup time relative to the
+  startup's solo time.
+
+On the real system the paper obtains these numbers by profiling functions in
+isolation offline.  Here the :class:`SoloOracle` simply runs the function
+alone on a private engine instance and caches the result; runs are
+deterministic, so one execution per (machine, spec) pair suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.cpu import CPU
+from repro.hardware.frequency import FrequencyPolicy
+from repro.hardware.contention import ContentionParameters
+from repro.hardware.topology import MachineSpec
+from repro.platform.engine import EngineConfig, SimulationEngine
+from repro.platform.metering import (
+    InvocationMeasurement,
+    StartupMeasurement,
+    measure_invocation,
+    measure_startup,
+)
+from repro.platform.scheduler import DedicatedCoreScheduler
+from repro.workloads.function import FunctionSpec
+
+#: Safety bound on how long (simulated seconds) a solo run may take.
+_MAX_SOLO_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class SoloProfile:
+    """Interference-free measurements of one function."""
+
+    execution: InvocationMeasurement
+    startup: Optional[StartupMeasurement]
+
+    @property
+    def t_private_seconds(self) -> float:
+        return self.execution.t_private_seconds
+
+    @property
+    def t_shared_seconds(self) -> float:
+        return self.execution.t_shared_seconds
+
+    @property
+    def t_total_seconds(self) -> float:
+        return self.execution.t_total_seconds
+
+
+class SoloOracle:
+    """Runs functions alone on the machine and caches their measurements."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        contention_parameters: Optional[ContentionParameters] = None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        self._machine = machine
+        self._contention_parameters = contention_parameters
+        self._engine_config = engine_config or EngineConfig()
+        self._cache: Dict[Tuple[str, float], SoloProfile] = {}
+
+    @property
+    def machine(self) -> MachineSpec:
+        return self._machine
+
+    @staticmethod
+    def _key(spec: FunctionSpec) -> Tuple[str, float]:
+        # Keyed on the instruction count as well so differently scaled copies
+        # of the same benchmark never collide in the cache.
+        return (spec.abbreviation, spec.total_instructions)
+
+    def profile(self, spec: FunctionSpec) -> SoloProfile:
+        """Return (possibly cached) solo measurements for ``spec``."""
+        key = self._key(spec)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        profile = self._run_solo(spec)
+        self._cache[key] = profile
+        return profile
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __contains__(self, abbreviation: str) -> bool:
+        return any(key[0] == abbreviation for key in self._cache)
+
+    def _run_solo(self, spec: FunctionSpec) -> SoloProfile:
+        if spec.is_traffic_generator:
+            raise ValueError("traffic generators are never billed or profiled solo")
+        cpu = CPU(
+            self._machine,
+            smt_enabled=False,
+            frequency_policy=FrequencyPolicy.FIXED,
+            contention_parameters=self._contention_parameters,
+        )
+        engine = SimulationEngine(
+            cpu, DedicatedCoreScheduler(), config=self._engine_config
+        )
+        invocation = engine.submit(spec, tags={"role": "solo"})
+        completed = engine.run_until(
+            lambda eng: invocation.is_completed, max_seconds=_MAX_SOLO_SECONDS
+        )
+        if not completed:
+            raise RuntimeError(
+                f"solo run of {spec.abbreviation} did not complete within "
+                f"{_MAX_SOLO_SECONDS} simulated seconds"
+            )
+        startup = measure_startup(invocation) if invocation.startup_recorded else None
+        return SoloProfile(execution=measure_invocation(invocation), startup=startup)

@@ -1,0 +1,31 @@
+"""Sandboxes.
+
+Commercial serverless platforms execute each function inside a container or
+micro-VM whose memory size is what the tenant is billed for.  For the
+pricing study the sandbox is pure bookkeeping: an identity, the configured
+memory size (the billing dimension of the pay-as-you-go formula) and the
+language runtime it hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.runtimes import Language
+
+
+@dataclass(frozen=True)
+class Sandbox:
+    """One sandbox (container / micro-VM) hosting a single invocation."""
+
+    sandbox_id: int
+    memory_mb: float
+    language: Language
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_mb / 1024.0

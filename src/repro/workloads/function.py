@@ -1,0 +1,184 @@
+"""Serverless function specifications and execution progress tracking.
+
+A :class:`FunctionSpec` is a static description of a serverless function:
+its identity (name, suite, language), its sandbox memory size, and its
+execution phases.  The phases are the language runtime's startup phases
+followed by the function's body phases, so the first part of every
+invocation is the Litmus-probe window.
+
+A :class:`PhaseCursor` tracks an in-flight invocation's progress through the
+phase list; the platform engine advances it by instruction counts and asks
+it for the current resource profile each epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.workloads.phases import ExecutionPhase, PhaseKind, ResourceProfile
+from repro.workloads.runtimes import Language, LanguageRuntime, runtime_for
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Static description of one serverless function."""
+
+    name: str
+    abbreviation: str
+    language: Language
+    suite: str
+    memory_mb: float
+    body_phases: Tuple[ExecutionPhase, ...]
+    is_reference: bool = False
+    is_traffic_generator: bool = False
+    startup_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if not self.body_phases and not self.is_traffic_generator:
+            raise ValueError(f"function {self.name!r} needs at least one body phase")
+        for phase in self.body_phases:
+            if phase.kind is PhaseKind.STARTUP:
+                raise ValueError(
+                    f"body phase {phase.name!r} of {self.name!r} must not be a "
+                    "STARTUP phase; startup phases come from the language runtime"
+                )
+        if self.startup_scale <= 0:
+            raise ValueError("startup_scale must be positive")
+
+    @property
+    def runtime(self) -> LanguageRuntime:
+        return runtime_for(self.language)
+
+    @property
+    def phases(self) -> Tuple[ExecutionPhase, ...]:
+        """Startup phases followed by body phases."""
+        if self.is_traffic_generator:
+            return self.body_phases
+        startup = tuple(self.runtime.startup_for(self.startup_scale))
+        return startup + self.body_phases
+
+    @property
+    def startup_instructions(self) -> float:
+        """Instructions executed before the function body begins."""
+        if self.is_traffic_generator:
+            return 0.0
+        return sum(
+            phase.instructions
+            for phase in self.phases
+            if phase.kind is PhaseKind.STARTUP
+        )
+
+    @property
+    def body_instructions(self) -> float:
+        return sum(phase.instructions for phase in self.body_phases)
+
+    @property
+    def total_instructions(self) -> float:
+        return sum(phase.instructions for phase in self.phases)
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_mb / 1024.0
+
+    def scaled(self, factor: float) -> "FunctionSpec":
+        """Return a copy with body phases scaled in length by ``factor``.
+
+        Startup phases are never scaled — they are the probe window and the
+        experiments rely on their instruction budget being fixed per
+        language.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return FunctionSpec(
+            name=self.name,
+            abbreviation=self.abbreviation,
+            language=self.language,
+            suite=self.suite,
+            memory_mb=self.memory_mb,
+            body_phases=tuple(phase.scaled(factor) for phase in self.body_phases),
+            is_reference=self.is_reference,
+            is_traffic_generator=self.is_traffic_generator,
+            startup_scale=self.startup_scale,
+        )
+
+
+class PhaseCursor:
+    """Tracks an invocation's progress through its function's phases."""
+
+    def __init__(self, spec: FunctionSpec) -> None:
+        self._spec = spec
+        self._phases: Sequence[ExecutionPhase] = spec.phases
+        self._phase_index = 0
+        self._instructions_into_phase = 0.0
+        self._instructions_retired = 0.0
+
+    @property
+    def spec(self) -> FunctionSpec:
+        return self._spec
+
+    @property
+    def finished(self) -> bool:
+        return self._phase_index >= len(self._phases)
+
+    @property
+    def instructions_retired(self) -> float:
+        return self._instructions_retired
+
+    @property
+    def instructions_remaining(self) -> float:
+        return max(self._spec.total_instructions - self._instructions_retired, 0.0)
+
+    @property
+    def current_phase(self) -> Optional[ExecutionPhase]:
+        if self.finished:
+            return None
+        return self._phases[self._phase_index]
+
+    @property
+    def current_profile(self) -> Optional[ResourceProfile]:
+        phase = self.current_phase
+        return None if phase is None else phase.profile
+
+    @property
+    def in_startup(self) -> bool:
+        """True while the invocation is still inside the probe window."""
+        phase = self.current_phase
+        return phase is not None and phase.kind is PhaseKind.STARTUP
+
+    @property
+    def startup_complete(self) -> bool:
+        """True once every STARTUP phase has fully retired."""
+        if self._spec.is_traffic_generator:
+            return True
+        return self._instructions_retired >= self._spec.startup_instructions
+
+    def phase_instructions_remaining(self) -> float:
+        """Instructions left in the current phase (0 when finished)."""
+        phase = self.current_phase
+        if phase is None:
+            return 0.0
+        return phase.instructions - self._instructions_into_phase
+
+    def advance(self, instructions: float) -> float:
+        """Retire up to ``instructions`` within the *current* phase.
+
+        Returns the number of instructions actually retired (bounded by the
+        end of the current phase); the caller loops if it wants to spend a
+        larger budget across phase boundaries.
+        """
+        if instructions < 0:
+            raise ValueError("instructions must be >= 0")
+        if self.finished:
+            return 0.0
+        phase = self._phases[self._phase_index]
+        available = phase.instructions - self._instructions_into_phase
+        retired = min(instructions, available)
+        self._instructions_into_phase += retired
+        self._instructions_retired += retired
+        if self._instructions_into_phase >= phase.instructions - 1e-9:
+            self._phase_index += 1
+            self._instructions_into_phase = 0.0
+        return retired

@@ -1,0 +1,124 @@
+"""Execution phases and resource profiles.
+
+A phase is the unit of workload description: a number of instructions
+executed with a fixed resource profile.  The profile carries exactly the
+quantities the hardware substrate consumes:
+
+``cpi_base``
+    Cycles per instruction retired when no off-core stall occurs — the
+    "private" execution speed determined by the core pipeline and the L1/L2.
+``l2_mpki``
+    L2 misses per kilo-instruction, i.e. how often the phase leaves the
+    private domain and touches the shared L3 / memory system.
+``working_set_mb``
+    The footprint competing for shared L3 capacity while the phase runs.
+``solo_l3_hit_fraction``
+    The fraction of those L2 misses that hit in the L3 when the function has
+    the machine to itself.
+``mlp``
+    Average memory-level parallelism; the core-visible stall per miss is the
+    miss latency divided by this factor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PhaseKind(enum.Enum):
+    """Role of a phase within a function's execution."""
+
+    STARTUP = "startup"
+    BODY = "body"
+    TEARDOWN = "teardown"
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Per-phase resource characteristics consumed by the contention model."""
+
+    cpi_base: float
+    l2_mpki: float
+    working_set_mb: float
+    solo_l3_hit_fraction: float
+    mlp: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.cpi_base <= 0:
+            raise ValueError("cpi_base must be positive")
+        if self.l2_mpki < 0:
+            raise ValueError("l2_mpki must be >= 0")
+        if self.working_set_mb < 0:
+            raise ValueError("working_set_mb must be >= 0")
+        if not 0.0 <= self.solo_l3_hit_fraction <= 1.0:
+            raise ValueError("solo_l3_hit_fraction must be in [0, 1]")
+        if self.mlp <= 0:
+            raise ValueError("mlp must be positive")
+
+    def scaled(
+        self,
+        *,
+        cpi_base: float | None = None,
+        l2_mpki: float | None = None,
+        working_set_mb: float | None = None,
+        solo_l3_hit_fraction: float | None = None,
+        mlp: float | None = None,
+    ) -> "ResourceProfile":
+        """Return a copy with selected fields replaced."""
+        return ResourceProfile(
+            cpi_base=self.cpi_base if cpi_base is None else cpi_base,
+            l2_mpki=self.l2_mpki if l2_mpki is None else l2_mpki,
+            working_set_mb=(
+                self.working_set_mb if working_set_mb is None else working_set_mb
+            ),
+            solo_l3_hit_fraction=(
+                self.solo_l3_hit_fraction
+                if solo_l3_hit_fraction is None
+                else solo_l3_hit_fraction
+            ),
+            mlp=self.mlp if mlp is None else mlp,
+        )
+
+    def solo_stall_cycles_per_instruction(
+        self, l3_hit_latency_cycles: float, memory_latency_cycles: float
+    ) -> float:
+        """Shared-resource stall per instruction with unloaded latencies.
+
+        Useful for quick analytic estimates and for tests that check the
+        simulator against closed-form expectations.
+        """
+        per_miss = (
+            self.solo_l3_hit_fraction * l3_hit_latency_cycles
+            + (1.0 - self.solo_l3_hit_fraction) * memory_latency_cycles
+        ) / self.mlp
+        return (self.l2_mpki / 1000.0) * per_miss
+
+
+@dataclass(frozen=True)
+class ExecutionPhase:
+    """A contiguous stretch of a function's execution with one profile."""
+
+    name: str
+    kind: PhaseKind
+    instructions: float
+    profile: ResourceProfile
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError("a phase must execute at least one instruction")
+
+    def scaled(self, factor: float) -> "ExecutionPhase":
+        """Return a copy whose instruction count is multiplied by ``factor``.
+
+        Used to shrink workloads for quick test configurations without
+        changing their resource characteristics.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return ExecutionPhase(
+            name=self.name,
+            kind=self.kind,
+            instructions=self.instructions * factor,
+            profile=self.profile,
+        )

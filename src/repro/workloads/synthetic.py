@@ -1,0 +1,83 @@
+"""Workload mixing helpers.
+
+The paper's evaluation keeps a fixed number of co-running functions alive by
+launching a randomly selected benchmark whenever one finishes.  The
+:class:`WorkloadMixer` provides that random selection (deterministically,
+from a seed) plus helpers for building the skewed mixes used by individual
+experiments, such as the memory-intensive mix of the heavy-congestion study.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.workloads.function import FunctionSpec
+from repro.workloads.registry import FunctionRegistry, default_registry
+
+
+class WorkloadMixer:
+    """Deterministic random selection of co-runner functions."""
+
+    def __init__(
+        self,
+        pool: Sequence[FunctionSpec],
+        seed: int = 2024,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not pool:
+            raise ValueError("the workload pool must not be empty")
+        if weights is not None and len(weights) != len(pool):
+            raise ValueError("weights must match the pool length")
+        if weights is not None and any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        self._pool = list(pool)
+        self._weights = list(weights) if weights is not None else None
+        self._rng = random.Random(seed)
+
+    @property
+    def pool(self) -> List[FunctionSpec]:
+        return list(self._pool)
+
+    def next(self) -> FunctionSpec:
+        """Draw the next co-runner."""
+        if self._weights is None:
+            return self._rng.choice(self._pool)
+        return self._rng.choices(self._pool, weights=self._weights, k=1)[0]
+
+    def draw(self, count: int) -> List[FunctionSpec]:
+        """Draw ``count`` co-runners with replacement."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return [self.next() for _ in range(count)]
+
+
+def memory_intensive_subset(
+    registry: Optional[FunctionRegistry] = None,
+) -> List[FunctionSpec]:
+    """The eight functions with the highest L2 miss pressure (Figure 17 mix)."""
+    registry = registry or default_registry()
+    return registry.memory_intensive()
+
+
+def round_robin_fill(
+    pool: Sequence[FunctionSpec], count: int, seed: int = 2024
+) -> List[FunctionSpec]:
+    """Return ``count`` specs cycling through a shuffled copy of ``pool``.
+
+    Used when an experiment wants every benchmark represented roughly
+    equally among the co-runners rather than an independent random draw.
+    """
+    if not pool:
+        raise ValueError("pool must not be empty")
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    rng = random.Random(seed)
+    shuffled = list(pool)
+    rng.shuffle(shuffled)
+    result: List[FunctionSpec] = []
+    index = 0
+    while len(result) < count:
+        result.append(shuffled[index % len(shuffled)])
+        index += 1
+    return result

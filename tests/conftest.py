@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+Expensive artefacts (solo oracle, calibration, price evaluations) are
+session-scoped and deliberately small: function bodies are scaled down and
+few stress levels are swept, which keeps the whole suite fast while still
+exercising every code path end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import CalibrationScenario, Calibrator
+from repro.core.estimator import CongestionEstimator
+from repro.experiments.config import ExperimentConfig, one_per_core
+from repro.hardware.topology import CASCADE_LAKE_5218
+from repro.platform.engine import EngineConfig
+from repro.platform.oracle import SoloOracle
+from repro.workloads.registry import default_registry
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The primary testbed machine description."""
+    return CASCADE_LAKE_5218
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """The full Table-1 registry."""
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def small_registry(registry):
+    """A body-scaled registry used wherever simulations run."""
+    return registry.scaled(0.25)
+
+
+@pytest.fixture(scope="session")
+def oracle(machine):
+    """A solo oracle shared across the suite (profiles are cached)."""
+    return SoloOracle(machine)
+
+
+@pytest.fixture(scope="session")
+def small_oracle(machine):
+    """A solo oracle bound to nothing in particular; used with scaled specs."""
+    return SoloOracle(machine)
+
+
+@pytest.fixture(scope="session")
+def small_calibration(machine, small_registry, small_oracle):
+    """A cheap dedicated-core calibration shared by estimator/pricing tests."""
+    calibrator = Calibrator(
+        machine,
+        small_registry,
+        CalibrationScenario.dedicated(),
+        stress_levels=(4, 12),
+        oracle=small_oracle,
+        engine_config=EngineConfig(),
+    )
+    return calibrator.calibrate()
+
+
+@pytest.fixture(scope="session")
+def small_estimator(small_calibration):
+    return CongestionEstimator(small_calibration)
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """A small one-function-per-core evaluation configuration."""
+    return one_per_core(
+        name="test-one-per-core",
+        total_functions=18,
+        eval_physical_cores=18,
+        repetitions=1,
+        registry_scale=0.25,
+        calibration_levels=(4, 12),
+    )

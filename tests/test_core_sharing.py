@@ -1,0 +1,47 @@
+"""Tests for the switching-overhead measurement harness (Figure 14)."""
+
+import pytest
+
+from repro.core.sharing import SwitchingCurvePoint, measure_switching_curve
+from repro.hardware.topology import CASCADE_LAKE_5218
+from repro.workloads.registry import default_registry
+
+
+@pytest.fixture(scope="module")
+def switching_curve():
+    return measure_switching_curve(
+        CASCADE_LAKE_5218,
+        counts=(1, 4, 10),
+        registry=default_registry().scaled(0.1),
+    )
+
+
+class TestSwitchingCurve:
+    def test_returns_one_point_per_count(self, switching_curve):
+        assert [p.functions_per_thread for p in switching_curve] == [1, 4, 10]
+        assert all(isinstance(p, SwitchingCurvePoint) for p in switching_curve)
+
+    def test_dedicated_thread_has_no_overhead(self, switching_curve):
+        assert switching_curve[0].t_private_inflation == pytest.approx(1.0, abs=0.01)
+
+    def test_overhead_grows_then_saturates(self, switching_curve):
+        inflations = [p.t_private_inflation for p in switching_curve]
+        assert inflations[1] > inflations[0]
+        assert inflations[2] >= inflations[1]
+        # Figure 14: the overhead stays within a few percent.
+        assert inflations[-1] < 1.06
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            measure_switching_curve(
+                CASCADE_LAKE_5218, counts=(0,), registry=default_registry().scaled(0.1)
+            )
+
+    def test_invalid_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            measure_switching_curve(
+                CASCADE_LAKE_5218,
+                counts=(1,),
+                registry=default_registry().scaled(0.1),
+                repetitions=0,
+            )

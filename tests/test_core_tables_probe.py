@@ -1,0 +1,157 @@
+"""Tests for the congestion/performance tables and the Litmus probe."""
+
+import pytest
+
+from repro.core.litmus_test import LitmusObservation, LitmusProbe, StartupBaseline, probe_spec
+from repro.core.tables import (
+    CongestionObservation,
+    CongestionTable,
+    PerformanceObservation,
+    PerformanceTable,
+)
+from repro.platform.metering import StartupMeasurement
+from repro.workloads.runtimes import Language
+from repro.workloads.traffic import GeneratorKind
+
+
+def congestion_obs(level, language=Language.PYTHON, generator=GeneratorKind.CT):
+    return CongestionObservation(
+        generator=generator,
+        stress_level=level,
+        language=language,
+        private_slowdown=1.0 + 0.01 * level,
+        shared_slowdown=1.0 + 0.1 * level,
+        total_slowdown=1.0 + 0.02 * level,
+        machine_l3_misses=1e5 * level,
+    )
+
+
+def performance_obs(level, generator=GeneratorKind.CT):
+    return PerformanceObservation(
+        generator=generator,
+        stress_level=level,
+        private_slowdown=1.0 + 0.01 * level,
+        shared_slowdown=1.0 + 0.12 * level,
+        total_slowdown=1.0 + 0.03 * level,
+    )
+
+
+class TestCongestionTable:
+    def test_add_and_get(self):
+        table = CongestionTable([congestion_obs(4), congestion_obs(8)])
+        assert len(table) == 2
+        assert table.get(GeneratorKind.CT, 4, Language.PYTHON).stress_level == 4
+
+    def test_duplicate_rejected(self):
+        table = CongestionTable([congestion_obs(4)])
+        with pytest.raises(ValueError, match="duplicate"):
+            table.add(congestion_obs(4))
+
+    def test_missing_entry_raises(self):
+        table = CongestionTable([congestion_obs(4)])
+        with pytest.raises(KeyError):
+            table.get(GeneratorKind.MB, 4, Language.PYTHON)
+
+    def test_entries_sorted_and_filtered(self):
+        table = CongestionTable(
+            [congestion_obs(8), congestion_obs(4), congestion_obs(4, generator=GeneratorKind.MB)]
+        )
+        ct_entries = table.entries(generator=GeneratorKind.CT)
+        assert [e.stress_level for e in ct_entries] == [4, 8]
+        assert table.stress_levels(GeneratorKind.CT) == [4, 8]
+        assert table.languages() == [Language.PYTHON]
+
+    def test_rows_rendering(self):
+        rows = CongestionTable([congestion_obs(4)]).rows()
+        assert rows[0]["generator"] == "ct-gen"
+        assert rows[0]["language"] == "python"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionObservation(
+                generator=GeneratorKind.CT,
+                stress_level=1,
+                language=Language.PYTHON,
+                private_slowdown=0.0,
+                shared_slowdown=1.0,
+                total_slowdown=1.0,
+                machine_l3_misses=0.0,
+            )
+
+
+class TestPerformanceTable:
+    def test_add_get_rows(self):
+        table = PerformanceTable([performance_obs(4), performance_obs(8)])
+        assert len(table) == 2
+        assert table.get(GeneratorKind.CT, 8).total_slowdown == pytest.approx(1.24)
+        assert table.stress_levels(GeneratorKind.CT) == [4, 8]
+        assert len(table.rows()) == 2
+
+    def test_duplicate_rejected(self):
+        table = PerformanceTable([performance_obs(4)])
+        with pytest.raises(ValueError):
+            table.add(performance_obs(4))
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            PerformanceTable().get(GeneratorKind.MB, 2)
+
+
+class TestLitmusProbe:
+    def make_probe(self):
+        baseline = StartupBaseline(
+            language=Language.PYTHON,
+            private_seconds=0.010,
+            shared_seconds=0.002,
+            machine_l3_misses=1e5,
+        )
+        return LitmusProbe({Language.PYTHON: baseline})
+
+    def test_observation_slowdowns(self):
+        probe = self.make_probe()
+        measurement = StartupMeasurement(
+            function="aes-py",
+            language="python",
+            instructions=45e6,
+            t_private_seconds=0.011,
+            t_shared_seconds=0.004,
+            private_cycles=1.0,
+            shared_cycles=1.0,
+            wall_seconds=0.016,
+            machine_l3_misses=5e5,
+        )
+        observation = probe.observe_measurement(measurement)
+        assert observation.private_slowdown == pytest.approx(1.1)
+        assert observation.shared_slowdown == pytest.approx(2.0)
+        assert observation.machine_l3_misses == pytest.approx(5e5)
+        assert observation.language is Language.PYTHON
+
+    def test_missing_language_baseline(self):
+        probe = self.make_probe()
+        with pytest.raises(KeyError):
+            probe.baseline(Language.GO)
+
+    def test_requires_baselines(self):
+        with pytest.raises(ValueError):
+            LitmusProbe({})
+
+    def test_observation_validation(self):
+        with pytest.raises(ValueError):
+            LitmusObservation(
+                function="x",
+                language=Language.PYTHON,
+                private_slowdown=0.0,
+                shared_slowdown=1.0,
+                total_slowdown=1.0,
+                machine_l3_misses=0.0,
+                startup_wall_seconds=0.0,
+            )
+
+
+class TestProbeSpec:
+    def test_probe_specs_per_language(self):
+        for language in Language:
+            spec = probe_spec(language)
+            assert spec.language is language
+            assert spec.suite == "litmus-probe"
+            assert spec.startup_instructions > spec.body_instructions

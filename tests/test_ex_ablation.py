@@ -1,0 +1,54 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_interpolation_ablation,
+    run_rate_split_ablation,
+    run_reference_count_ablation,
+)
+from repro.experiments.config import one_per_core
+
+
+@pytest.fixture(scope="module")
+def ablation_config():
+    return one_per_core(
+        name="test-ablation",
+        total_functions=12,
+        eval_physical_cores=12,
+        repetitions=1,
+        registry_scale=0.2,
+        calibration_levels=(4, 10),
+    )
+
+
+class TestRateSplitAblation:
+    def test_reports_both_variants(self, ablation_config):
+        result = run_rate_split_ablation(ablation_config)
+        assert len(result.rows) == 14
+        assert result.summary["split_rate_abs_error_geomean"] > 0.0
+        assert result.summary["single_rate_abs_error_geomean"] > 0.0
+
+    def test_errors_stay_bounded(self, ablation_config):
+        result = run_rate_split_ablation(ablation_config)
+        for row in result.rows:
+            assert row["split_rate_abs_error"] < 0.25
+            assert row["single_rate_abs_error"] < 0.4
+
+
+class TestInterpolationAblation:
+    def test_reports_both_interpolations(self, ablation_config):
+        result = run_interpolation_ablation(ablation_config)
+        assert len(result.rows) == 14
+        assert "log_interp_abs_error_geomean" in result.summary
+        assert "linear_interp_abs_error_geomean" in result.summary
+
+
+class TestReferenceCountAblation:
+    def test_gap_reported_per_reference_count(self, ablation_config):
+        result = run_reference_count_ablation(
+            ablation_config, reference_counts=(3, 13), stress_levels=(4, 10)
+        )
+        assert [row["reference_functions"] for row in result.rows] == [3, 13]
+        for row in result.rows:
+            assert abs(row["discount_gap"]) < 0.15

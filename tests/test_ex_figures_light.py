@@ -1,0 +1,71 @@
+"""Tests for the lightweight figure modules (no heavy price evaluations)."""
+
+import pytest
+
+from repro.experiments import fig01_traffic, fig04_distribution, fig06_startup_ipc, table1
+from repro.experiments.config import one_per_core
+from repro.experiments.harness import FigureResult
+from repro.workloads.runtimes import Language
+
+
+@pytest.fixture(scope="module")
+def light_config():
+    return one_per_core(
+        name="test-light",
+        total_functions=12,
+        eval_physical_cores=12,
+        repetitions=1,
+        registry_scale=0.2,
+        calibration_levels=(4, 10),
+    )
+
+
+class TestTable1:
+    def test_rows_and_summary(self):
+        result = table1.run()
+        assert isinstance(result, FigureResult)
+        assert len(result.rows) == 27
+        assert result.summary["reference_functions"] == 13.0
+        assert "Table 1" in result.render()
+
+
+class TestFig01:
+    def test_generator_characteristics(self, light_config):
+        result = fig01_traffic.run(light_config, levels=(1, 8, 16))
+        assert len(result.rows) == 6
+        # MB-Gen dominates L3 misses; CT-Gen dominates L2 misses.
+        assert result.summary["mb_gen_max_normalized_l3"] > result.summary["ct_gen_max_normalized_l3"]
+        assert result.summary["ct_gen_max_normalized_l2"] > result.summary["mb_gen_max_normalized_l2"]
+        assert result.summary["l3_separation_ratio"] > 3.0
+
+    def test_l2_misses_grow_with_thread_count(self, light_config):
+        result = fig01_traffic.run(light_config, levels=(1, 8, 16))
+        ct_rows = [r for r in result.rows if r["generator"] == "ct-gen"]
+        l2 = [r["normalized_l2_misses"] for r in ct_rows]
+        assert l2 == sorted(l2)
+
+
+class TestFig04:
+    def test_shared_fraction_spread(self, light_config):
+        result = fig04_distribution.run(light_config)
+        by_function = {row["function"]: row for row in result.rows}
+        # Compute-bound functions are dominated by private time...
+        assert by_function["float-py"]["t_private_fraction"] > 0.9
+        # ...while graph workloads have a visible shared component.
+        assert by_function["pager-py"]["t_shared_fraction"] > by_function["float-py"]["t_shared_fraction"]
+        assert 0.0 < result.summary["mean_shared_fraction"] < 0.5
+
+
+class TestFig06:
+    def test_startup_traces_by_language(self, light_config):
+        result = fig06_startup_ipc.run(light_config)
+        languages = {row["language"] for row in result.rows}
+        assert languages == {lang.value for lang in Language}
+        # Node.js startups are the longest, Go the shortest (paper Fig. 6).
+        assert result.summary["nodejs_startup_ms"] > result.summary["python_startup_ms"]
+        assert result.summary["python_startup_ms"] > result.summary["go_startup_ms"]
+        assert result.summary["min_ipc"] > 0
+
+    def test_render_contains_description(self, light_config):
+        result = fig06_startup_ipc.run(light_config)
+        assert "Figure 6" in result.render()

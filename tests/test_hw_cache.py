@@ -1,0 +1,102 @@
+"""Tests for the shared L3 capacity model."""
+
+import pytest
+
+from repro.hardware.cache import CacheDemand, SharedCacheModel
+
+
+def demand(workload_id, rate, ws, hit=0.8):
+    return CacheDemand(
+        workload_id=workload_id,
+        request_rate=rate,
+        working_set_mb=ws,
+        solo_hit_fraction=hit,
+    )
+
+
+class TestAllocation:
+    def test_single_workload_gets_its_working_set(self):
+        model = SharedCacheModel(capacity_mb=22.0)
+        allocations = model.allocate([demand(1, rate=1e6, ws=10.0)])
+        assert allocations[1].allocated_mb == pytest.approx(10.0)
+        assert allocations[1].hit_fraction == pytest.approx(0.8)
+
+    def test_single_large_workload_capped_at_capacity(self):
+        model = SharedCacheModel(capacity_mb=22.0)
+        allocations = model.allocate([demand(1, rate=1e6, ws=100.0)])
+        assert allocations[1].allocated_mb == pytest.approx(22.0)
+        # Its "need" is capped at capacity, so solo hit fraction is retained.
+        assert allocations[1].hit_fraction == pytest.approx(0.8)
+
+    def test_total_allocation_never_exceeds_capacity(self):
+        model = SharedCacheModel(capacity_mb=22.0)
+        demands = [demand(i, rate=1e6 * (i + 1), ws=15.0) for i in range(6)]
+        allocations = model.allocate(demands)
+        assert sum(a.allocated_mb for a in allocations.values()) <= 22.0 + 1e-9
+
+    def test_equal_demands_share_equally(self):
+        model = SharedCacheModel(capacity_mb=20.0)
+        allocations = model.allocate(
+            [demand(1, rate=1e6, ws=30.0), demand(2, rate=1e6, ws=30.0)]
+        )
+        assert allocations[1].allocated_mb == pytest.approx(allocations[2].allocated_mb)
+        assert allocations[1].allocated_mb == pytest.approx(10.0)
+
+    def test_higher_request_rate_receives_more_capacity(self):
+        model = SharedCacheModel(capacity_mb=20.0)
+        allocations = model.allocate(
+            [demand(1, rate=4e6, ws=30.0), demand(2, rate=1e6, ws=30.0)]
+        )
+        assert allocations[1].allocated_mb > allocations[2].allocated_mb
+
+    def test_small_workload_capped_and_surplus_redistributed(self):
+        model = SharedCacheModel(capacity_mb=20.0)
+        allocations = model.allocate(
+            [demand(1, rate=5e6, ws=2.0), demand(2, rate=1e6, ws=40.0)]
+        )
+        assert allocations[1].allocated_mb == pytest.approx(2.0)
+        assert allocations[2].allocated_mb == pytest.approx(18.0)
+
+    def test_idle_workload_keeps_solo_hit_fraction(self):
+        model = SharedCacheModel(capacity_mb=20.0)
+        allocations = model.allocate(
+            [demand(1, rate=0.0, ws=10.0), demand(2, rate=1e6, ws=40.0)]
+        )
+        assert allocations[1].hit_fraction == pytest.approx(0.8)
+
+
+class TestHitFraction:
+    def test_hit_fraction_degrades_under_pressure(self):
+        model = SharedCacheModel(capacity_mb=22.0)
+        alone = model.allocate([demand(1, rate=1e6, ws=20.0)])[1].hit_fraction
+        crowded = model.allocate(
+            [demand(i, rate=1e6, ws=20.0) for i in range(1, 11)]
+        )[1].hit_fraction
+        assert crowded < alone
+
+    def test_hit_fraction_monotone_in_allocation(self):
+        model = SharedCacheModel(capacity_mb=22.0, utility_exponent=0.5)
+        d = demand(1, rate=1e6, ws=20.0)
+        fractions = [model.effective_hit_fraction(d, a) for a in (1.0, 5.0, 10.0, 20.0)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(0.8)
+
+    def test_utility_exponent_bounds(self):
+        with pytest.raises(ValueError):
+            SharedCacheModel(capacity_mb=10.0, utility_exponent=0.0)
+        with pytest.raises(ValueError):
+            SharedCacheModel(capacity_mb=10.0, utility_exponent=1.5)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SharedCacheModel(capacity_mb=0.0)
+
+
+class TestCacheDemandValidation:
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            CacheDemand(workload_id=1, request_rate=-1, working_set_mb=1, solo_hit_fraction=0.5)
+
+    def test_rejects_bad_hit_fraction(self):
+        with pytest.raises(ValueError):
+            CacheDemand(workload_id=1, request_rate=1, working_set_mb=1, solo_hit_fraction=1.5)

@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.errors import price_error_breakdown
+from repro.analysis.stats import geometric_mean
+from repro.core.pricing import charging_rate
+from repro.core.regression import (
+    ExponentialRegressionModel,
+    LinearRegressionModel,
+    log_interpolation_weight,
+)
+from repro.hardware.cache import CacheDemand, SharedCacheModel
+from repro.hardware.contention import ContentionModel, WorkloadDemand
+from repro.hardware.memory import MemoryBandwidthModel, MemoryLoad
+from repro.hardware.pmu import PMUCounters
+from repro.hardware.topology import CASCADE_LAKE_5218
+from repro.platform.scheduler import SwitchingOverheadModel
+
+_MODEL = ContentionModel(CASCADE_LAKE_5218)
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+# --------------------------------------------------------------------- #
+# Cache allocation invariants
+# --------------------------------------------------------------------- #
+cache_demands = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e9),   # request rate
+        st.floats(min_value=0.1, max_value=200.0),  # working set MB
+        st.floats(min_value=0.0, max_value=1.0),    # solo hit fraction
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@given(cache_demands)
+@settings(max_examples=60, deadline=None)
+def test_cache_allocation_invariants(raw_demands):
+    model = SharedCacheModel(capacity_mb=22.0)
+    demands = [
+        CacheDemand(
+            workload_id=index,
+            request_rate=rate,
+            working_set_mb=ws,
+            solo_hit_fraction=hit,
+        )
+        for index, (rate, ws, hit) in enumerate(raw_demands)
+    ]
+    allocations = model.allocate(demands)
+    # Every demand receives an allocation entry.
+    assert set(allocations) == {d.workload_id for d in demands}
+    active = [d for d in demands if d.request_rate > 0 and d.working_set_mb > 0]
+    total_active = sum(allocations[d.workload_id].allocated_mb for d in active)
+    # Active workloads never receive more than the cache capacity in total.
+    assert total_active <= 22.0 + 1e-6
+    for demand in demands:
+        allocation = allocations[demand.workload_id]
+        assert 0.0 <= allocation.hit_fraction <= demand.solo_hit_fraction + 1e-9
+        assert allocation.allocated_mb <= min(demand.working_set_mb, 22.0) + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Contention model invariants
+# --------------------------------------------------------------------- #
+workload_demands = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5e8),
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1.0, max_value=10.0),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+@given(workload_demands)
+@settings(max_examples=40, deadline=None)
+def test_contention_penalties_are_physical(raw):
+    demands = [
+        WorkloadDemand(
+            workload_id=index,
+            l2_miss_rate=rate,
+            working_set_mb=ws,
+            solo_l3_hit_fraction=hit,
+            mlp=mlp,
+        )
+        for index, (rate, ws, hit, mlp) in enumerate(raw)
+    ]
+    penalties = _MODEL.evaluate(demands)
+    machine = CASCADE_LAKE_5218
+    for demand in demands:
+        penalty = penalties[demand.workload_id]
+        assert 0.0 <= penalty.l3_hit_fraction <= 1.0
+        assert penalty.l3_hit_latency_cycles >= machine.l3.latency_cycles - 1e-9
+        assert penalty.memory_latency_cycles >= machine.memory_latency_cycles - 1e-9
+        assert penalty.private_inflation >= 1.0
+        assert penalty.stall_cycles_per_l2_miss(demand.mlp) > 0.0
+
+
+# --------------------------------------------------------------------- #
+# Memory latency monotonicity
+# --------------------------------------------------------------------- #
+@given(
+    st.floats(min_value=0.0, max_value=200e9),
+    st.floats(min_value=0.0, max_value=200e9),
+)
+@settings(max_examples=60, deadline=None)
+def test_memory_latency_monotone(load_a, load_b):
+    model = MemoryBandwidthModel(peak_bandwidth_gbs=100.0, unloaded_latency_cycles=238.0)
+    low, high = sorted((load_a, load_b))
+    assert model.effective_latency_cycles(MemoryLoad(low)) <= model.effective_latency_cycles(
+        MemoryLoad(high)
+    ) + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# PMU counters
+# --------------------------------------------------------------------- #
+counter_batches = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e9),
+        st.floats(min_value=0, max_value=1e9),
+        st.floats(min_value=0, max_value=1e9),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(counter_batches)
+@settings(max_examples=60, deadline=None)
+def test_pmu_accumulation_matches_sum(batches):
+    pmu = PMUCounters()
+    for cycles, instructions, stalls in batches:
+        stalls = min(stalls, cycles)
+        pmu.observe(cycles=cycles, instructions=instructions, stall_cycles_l2_miss=stalls)
+    assert math.isclose(
+        pmu.cycles, sum(c for c, _, _ in batches), rel_tol=1e-9, abs_tol=1e-6
+    )
+    assert pmu.private_cycles >= 0.0
+    assert pmu.private_cycles + pmu.shared_cycles == pmu.cycles
+    snapshot = pmu.snapshot()
+    assert snapshot.delta(snapshot).cycles == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Regression + interpolation
+# --------------------------------------------------------------------- #
+@given(
+    st.floats(min_value=-5, max_value=5),
+    st.floats(min_value=-10, max_value=10),
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=20, unique=True),
+)
+@settings(max_examples=60, deadline=None)
+def test_linear_regression_recovers_exact_lines(slope, intercept, xs):
+    ys = [intercept + slope * x for x in xs]
+    model = LinearRegressionModel.fit(xs, ys)
+    assert math.isclose(model.predict(0.0), intercept, rel_tol=1e-6, abs_tol=1e-6)
+    for x, y in zip(xs, ys):
+        assert math.isclose(model.predict(x), y, rel_tol=1e-6, abs_tol=1e-5)
+
+
+@given(positive_floats, positive_floats, positive_floats)
+@settings(max_examples=100, deadline=None)
+def test_log_interpolation_weight_bounded(value, low, high):
+    weight = log_interpolation_weight(value, low, high)
+    assert 0.0 <= weight <= 1.0
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e3), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_geometric_mean_within_bounds(values):
+    mean = geometric_mean(values)
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Pricing invariants
+# --------------------------------------------------------------------- #
+@given(st.floats(min_value=0.01, max_value=100), st.floats(min_value=0.01, max_value=100))
+@settings(max_examples=100, deadline=None)
+def test_charging_rate_never_exceeds_base(base, slowdown):
+    rate = charging_rate(base, slowdown)
+    assert 0.0 < rate <= base + 1e-12
+
+
+@given(
+    st.floats(min_value=1, max_value=60),
+    st.floats(min_value=1, max_value=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_switching_overhead_monotone(count_a, count_b):
+    model = SwitchingOverheadModel()
+    low, high = sorted((count_a, count_b))
+    assert model.factor(low) <= model.factor(high) + 1e-12
+    assert model.factor(high) <= model.saturation_factor() + 1e-12
+
+
+@given(
+    st.floats(min_value=0.01, max_value=10),
+    st.floats(min_value=0.0, max_value=10),
+    st.floats(min_value=0.01, max_value=10),
+    st.floats(min_value=0.01, max_value=10),
+)
+@settings(max_examples=80, deadline=None)
+def test_price_error_weighted_components_sum_to_total(lit_private, lit_shared, ideal_private, ideal_shared):
+    breakdown = price_error_breakdown(
+        function="prop",
+        litmus_private=lit_private,
+        litmus_shared=lit_shared,
+        ideal_private=ideal_private,
+        ideal_shared=ideal_shared,
+    )
+    assert math.isclose(
+        breakdown.private_error + breakdown.shared_error,
+        breakdown.total_error,
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )
