@@ -8,17 +8,43 @@ to ``results/<figure>.txt`` so EXPERIMENTS.md can reference the exact output.
 Simulation results are deterministic, so each figure is generated exactly
 once (``rounds=1``) — the interesting output is the figure itself, not
 timing statistics over repeated runs.
+
+Every test in this directory is auto-marked ``figure`` (the CI unit tier
+deselects them), and the session appends its per-figure wall-clock to the
+``BENCH_engine.json`` trajectory so engine-performance changes stay visible
+across commits.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
+from typing import Dict
 
 import pytest
 
+from repro import benchlog
 from repro.experiments.harness import FigureResult
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+_figure_seconds: Dict[str, float] = {}
+
+
+def pytest_collection_modifyitems(items):
+    benchmarks_dir = Path(__file__).resolve().parent
+    for item in items:
+        if benchmarks_dir in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.figure)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _figure_seconds:
+        benchlog.append_run(
+            _figure_seconds,
+            source="benchmarks",
+            path=benchlog.default_path(RESULTS_DIR),
+        )
 
 
 @pytest.fixture(scope="session")
@@ -32,9 +58,11 @@ def regenerate(benchmark, results_dir):
     """Run a figure module once under pytest-benchmark and persist its output."""
 
     def _regenerate(run_callable, *args, **kwargs) -> FigureResult:
+        start = time.perf_counter()
         result = benchmark.pedantic(
             run_callable, args=args, kwargs=kwargs, rounds=1, iterations=1
         )
+        _figure_seconds[result.name] = time.perf_counter() - start
         rendered = result.render()
         output_path = results_dir / f"{result.name}.txt"
         output_path.write_text(rendered + "\n", encoding="utf-8")

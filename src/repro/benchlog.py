@@ -1,0 +1,94 @@
+"""Wall-clock trajectory of the figure sweep (``BENCH_engine.json``).
+
+Every sweep — the parallel runner and the pytest-benchmark harness alike —
+appends one run record with per-figure wall-clock seconds.  The file
+accumulates a trajectory across commits, so CI artifacts show how engine
+changes move the cost of regenerating the paper.
+
+Caveat for readers: figures share calibrations, solo profiles and price
+evaluations through in-process and on-disk caches, so a per-figure number
+mostly records which job paid for a shared artefact first.  Compare
+``total_seconds``/``wall_seconds`` across records of the same temperature —
+runner records carry ``disk_cache_enabled`` and
+``disk_cache_entries_at_start`` so cold sweeps (0 entries) are
+distinguishable from warm ones:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "runs": [
+        {
+          "timestamp": "2026-07-29T12:00:00+00:00",
+          "source": "runner",
+          "jobs": 2,
+          "figures": {"fig16": 12.81, "fig17": 11.02},
+          "total_seconds": 23.83
+        }
+      ]
+    }
+
+``REPRO_BENCH_JSON`` overrides the destination path.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+FORMAT_VERSION = 1
+
+_ENV_PATH = "REPRO_BENCH_JSON"
+
+
+def default_path(results_dir: Path) -> Path:
+    """``BENCH_engine.json`` next to the results directory (repo root)."""
+    override = os.environ.get(_ENV_PATH)
+    if override:
+        return Path(override)
+    return results_dir.resolve().parent / "BENCH_engine.json"
+
+
+def _load_document(path: Path) -> Dict[str, Any]:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {"version": FORMAT_VERSION, "runs": []}
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != FORMAT_VERSION
+        or not isinstance(document.get("runs"), list)
+    ):
+        return {"version": FORMAT_VERSION, "runs": []}
+    return document
+
+
+def append_run(
+    figures: Mapping[str, float],
+    *,
+    source: str,
+    path: Path,
+    jobs: Optional[int] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Append one sweep record to the trajectory file and return its path."""
+    document = _load_document(path)
+    record: Dict[str, Any] = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "source": source,
+        "figures": {name: round(seconds, 4) for name, seconds in sorted(figures.items())},
+        "total_seconds": round(sum(figures.values()), 4),
+    }
+    if jobs is not None:
+        record["jobs"] = jobs
+    if extra:
+        record.update(extra)
+    document["runs"].append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -2,65 +2,37 @@
 
 Usage examples::
 
-    python -m repro list                 # every available figure/table
-    python -m repro run fig11            # regenerate Figure 11 and print it
+    python -m repro list                     # every available figure/table
+    python -m repro run fig11                # regenerate Figure 11 and print it
     python -m repro run fig16 --output results/fig16.txt
-    python -m repro registry             # dump the Table-1 workload registry
+    python -m repro run --figures all --jobs 4      # full parallel sweep
+    python -m repro run --figures all --check       # staleness check vs results/
+    python -m repro registry                 # dump the Table-1 workload registry
 
-Each figure's ``run`` entry point accepts the library defaults; the CLI is a
-thin wrapper intended for quick inspection, not a replacement for the
-benchmark harness (which also asserts the expected shapes).
+Single-figure runs print the regenerated rows; sweep runs (``--figures``)
+write every figure to the results directory, append per-figure wall-clock to
+the ``BENCH_engine.json`` trajectory, and — with ``--check`` — fail with a
+diff when the regenerated text does not match the committed results.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro._version import __version__
+from repro.experiments.runner import (
+    FIGURE_MODULES,
+    FigureRun,
+    resolve_figure_names,
+    resolve_runner,
+    run_figures,
+)
 
-#: Figure/table name -> experiments module implementing ``run()``.
-FIGURE_MODULES: Dict[str, str] = {
-    "table1": "repro.experiments.table1",
-    "fig01": "repro.experiments.fig01_traffic",
-    "fig02": "repro.experiments.fig02_corun_slowdown",
-    "fig03": "repro.experiments.fig03_time_split",
-    "fig04": "repro.experiments.fig04_distribution",
-    "fig05": "repro.experiments.fig05_tables",
-    "fig06": "repro.experiments.fig06_startup_ipc",
-    "fig07": "repro.experiments.fig07_probe_timeline",
-    "fig08": "repro.experiments.fig08_reference_mbgen",
-    "fig09": "repro.experiments.fig09_regression",
-    "fig10": "repro.experiments.fig10_interpolation",
-    "fig11": "repro.experiments.fig11_price_26",
-    "fig12": "repro.experiments.fig12_price_errors",
-    "fig13": "repro.experiments.fig13_discount_lines",
-    "fig14": "repro.experiments.fig14_switching",
-    "fig15": "repro.experiments.fig15_method1",
-    "fig16": "repro.experiments.fig16_method2",
-    "fig17": "repro.experiments.fig17_heavy",
-    "fig18": "repro.experiments.fig18_frequency",
-    "fig19": "repro.experiments.fig19_icelake",
-    "fig20": "repro.experiments.fig20_reused_tables",
-    "fig21": "repro.experiments.fig21_smt",
-    "ablation-rate-split": "repro.experiments.ablation:run_rate_split_ablation",
-    "ablation-interpolation": "repro.experiments.ablation:run_interpolation_ablation",
-    "ablation-reference-count": "repro.experiments.ablation:run_reference_count_ablation",
-}
-
-
-def _resolve_runner(name: str) -> Callable[[], object]:
-    """Import the ``run`` callable behind a figure name."""
-    target = FIGURE_MODULES[name]
-    if ":" in target:
-        module_name, attribute = target.split(":", 1)
-    else:
-        module_name, attribute = target, "run"
-    module = importlib.import_module(module_name)
-    return getattr(module, attribute)
+#: Backward-compatible alias (the mapping moved to ``repro.experiments.runner``).
+_resolve_runner = resolve_runner
 
 
 def _command_list(_: argparse.Namespace) -> int:
@@ -70,13 +42,13 @@ def _command_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _run_single(args: argparse.Namespace) -> int:
     name = args.figure
     if name not in FIGURE_MODULES:
         known = ", ".join(sorted(FIGURE_MODULES))
         print(f"unknown figure {name!r}; known figures: {known}", file=sys.stderr)
         return 2
-    runner = _resolve_runner(name)
+    runner = resolve_runner(name)
     result = runner()
     rendered = result.render()
     print(rendered)
@@ -86,6 +58,89 @@ def _command_run(args: argparse.Namespace) -> int:
         output.write_text(rendered + "\n", encoding="utf-8")
         print(f"\n[written to {output}]")
     return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        names = resolve_figure_names(args.figures)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    results_dir = Path(args.results_dir)
+
+    def progress(run: FigureRun) -> None:
+        print(f"  {run.name}: {run.seconds:.1f}s", flush=True)
+
+    report = run_figures(
+        names,
+        jobs=args.jobs,
+        results_dir=results_dir,
+        check=args.check,
+        bench_path=Path(args.bench_json) if args.bench_json else None,
+        progress=progress,
+    )
+    total_cpu = sum(run.seconds for run in report.runs)
+    print(
+        f"{len(report.runs)} figure(s), jobs={report.jobs}: "
+        f"{report.wall_seconds:.1f}s wall, {total_cpu:.1f}s figure time"
+    )
+    if report.bench_path is not None:
+        print(f"[trajectory appended to {report.bench_path}]")
+    if args.check:
+        if report.mismatches:
+            for run in report.mismatches:
+                print(f"\nSTALE: results/{run.name}.txt", file=sys.stderr)
+                if run.diff:
+                    sys.stderr.write(run.diff)
+            print(
+                f"\n{len(report.mismatches)} stale figure(s); regenerate with "
+                f"`python -m repro run --figures all` and commit the results.",
+                file=sys.stderr,
+            )
+            return 1
+        print("all regenerated figures match the committed results")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.figure is not None and args.figures is not None:
+        print("pass either a figure name or --figures, not both", file=sys.stderr)
+        return 2
+    if args.figure is not None:
+        # Sweep-only flags are meaningful only with --figures; silently
+        # dropping them would fake e.g. a passing --check.
+        ignored = [
+            flag
+            for flag, value in (
+                ("--check", args.check),
+                ("--jobs", args.jobs != 1),
+                ("--results-dir", args.results_dir != "results"),
+                ("--bench-json", args.bench_json is not None),
+            )
+            if value
+        ]
+        if ignored:
+            print(
+                f"{', '.join(ignored)} only valid in sweep mode; "
+                f"use --figures {args.figure}",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_single(args)
+    if args.figures is None:
+        print("nothing to run: pass a figure name or --figures all", file=sys.stderr)
+        return 2
+    if args.output is not None:
+        print(
+            "--output only applies to single-figure mode; sweeps write to "
+            "--results-dir",
+            file=sys.stderr,
+        )
+        return 2
+    return _run_sweep(args)
 
 
 def _command_registry(_: argparse.Namespace) -> int:
@@ -121,10 +176,45 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser("list", help="list the available figures/tables")
     list_parser.set_defaults(handler=_command_list)
 
-    run_parser = subparsers.add_parser("run", help="regenerate one figure/table")
-    run_parser.add_argument("figure", help="figure name, e.g. fig11 (see 'list')")
+    run_parser = subparsers.add_parser(
+        "run", help="regenerate one figure/table, or sweep many in parallel"
+    )
+    run_parser.add_argument(
+        "figure",
+        nargs="?",
+        default=None,
+        help="figure name, e.g. fig11 (see 'list'); omit when using --figures",
+    )
     run_parser.add_argument(
         "--output", "-o", default=None, help="also write the rendered rows to this file"
+    )
+    run_parser.add_argument(
+        "--figures",
+        default=None,
+        help="sweep mode: 'all' or a comma-separated list of figure names",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for sweep mode (default 1)",
+    )
+    run_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="sweep mode: compare regenerated text against the committed "
+        "results instead of writing; exit 1 with a diff on any mismatch",
+    )
+    run_parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="directory the sweep writes to / checks against (default: results)",
+    )
+    run_parser.add_argument(
+        "--bench-json",
+        default=None,
+        help="override the BENCH_engine.json trajectory path",
     )
     run_parser.set_defaults(handler=_command_run)
 

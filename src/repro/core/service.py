@@ -17,8 +17,8 @@ price for evaluation purposes (as the paper's figures do).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.analysis.stats import geometric_mean
 from repro.core.calibration import CalibrationResult

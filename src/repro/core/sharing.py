@@ -21,7 +21,7 @@ The paper offers two ways to price in this environment:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.analysis.stats import geometric_mean
 from repro.core.litmus_test import LitmusObservation

@@ -17,7 +17,7 @@ function would slow down under the same conditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.workloads.runtimes import Language

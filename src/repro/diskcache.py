@@ -1,0 +1,154 @@
+"""Versioned on-disk cache for expensive, deterministic artefacts.
+
+Calibration sweeps and solo profiles are the most expensive parts of a
+figure run, and they are pure functions of the machine topology, the
+workload registry and the engine configuration.  This module gives them a
+process-independent cache so that a full figure sweep — whether sequential
+or fanned out over worker processes — computes each artefact exactly once
+and every later sweep starts warm.
+
+Layout and guarantees:
+
+* Entries live under ``$REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro-litmus``) as ``<kind>-<key>.json``, where ``key`` is a
+  SHA-256 fingerprint of everything the artefact depends on (CPU topology,
+  registry contents, scenario, engine config, ...).
+* Every file embeds :data:`CACHE_VERSION`.  Bumping the version — done
+  whenever the simulation's numerical behaviour changes — invalidates all
+  old entries on load; they are simply recomputed and rewritten.
+* Floats survive the JSON round trip exactly (``repr``-based encoding), so
+  a figure regenerated from a cached artefact is byte-identical to one
+  computed cold.
+* Writes go through a temporary file plus :func:`os.replace`, so
+  concurrent worker processes can race on the same entry safely — one of
+  them wins, all of them read back identical data.
+
+Set ``REPRO_DISK_CACHE=0`` to disable the cache entirely (every lookup
+misses, nothing is written), which the determinism checks use to compare
+cold and warm runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+#: Bump when simulation semantics change so stale artefacts cannot leak
+#: into freshly generated figures.
+CACHE_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_ENABLED = "REPRO_DISK_CACHE"
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk cache is active (``REPRO_DISK_CACHE=0`` disables)."""
+    return os.environ.get(_ENV_ENABLED, "1") not in ("0", "false", "no", "off")
+
+
+def cache_dir() -> Path:
+    """The cache directory (not created until something is stored)."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-litmus"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to JSON-encodable primitives, deterministically.
+
+    Dataclasses become field dicts, enums their values, mappings get their
+    keys stringified, and sets/tuples become sorted/ordered lists — enough
+    to fingerprint machine specs, scenarios, registries and configs.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return canonical(value.value)
+    if isinstance(value, dict):
+        return {str(key): canonical(item) for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonical(item) for item in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 fingerprint of the canonical JSON encoding of ``parts``."""
+    blob = json.dumps([canonical(part) for part in parts], sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def _entry_path(kind: str, key: str) -> Path:
+    return cache_dir() / f"{kind}-{key}.json"
+
+
+def load(kind: str, key: str) -> Optional[Dict[str, Any]]:
+    """Return a stored payload, or ``None`` on miss/corruption/version skew."""
+    if not cache_enabled():
+        return None
+    path = _entry_path(kind, key)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict) or document.get("cache_version") != CACHE_VERSION:
+        return None
+    payload = document.get("payload")
+    return payload if isinstance(payload, dict) else None
+
+
+def store(kind: str, key: str, payload: Dict[str, Any]) -> Optional[Path]:
+    """Atomically persist ``payload``; returns the path (None when disabled)."""
+    if not cache_enabled():
+        return None
+    path = _entry_path(kind, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {"cache_version": CACHE_VERSION, "kind": kind, "payload": payload}
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=f".{kind}-",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(handle.name, path)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        return None
+    return path
+
+
+def registry_fingerprint(specs: Iterable[Any]) -> str:
+    """Fingerprint a registry's full contents (phases included).
+
+    Unlike the in-memory cache key — which only needs to separate registries
+    within one process — the on-disk key must capture everything that feeds
+    the simulation, so the whole spec (language, memory, startup scale and
+    each phase's profile) goes into the hash.
+    """
+    return fingerprint(
+        sorted(
+            (canonical(spec) for spec in specs),
+            key=lambda entry: entry["abbreviation"],
+        )
+    )

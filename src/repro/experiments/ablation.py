@@ -22,7 +22,6 @@ from repro.analysis.stats import geometric_mean
 from repro.core.calibration import Calibrator
 from repro.core.estimator import CongestionEstimator
 from repro.core.pricing import IdealPricing, LitmusPricingEngine
-from repro.core.regression import log_interpolation_weight
 from repro.experiments.config import ExperimentConfig, one_per_core
 from repro.experiments.harness import (
     FigureResult,

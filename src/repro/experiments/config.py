@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 from repro.core.calibration import CalibrationScenario
 from repro.hardware.frequency import FrequencyPolicy

@@ -9,7 +9,6 @@ the Litmus estimator infers from that probe.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List, Mapping, Optional
 
 from repro.core.estimator import CongestionEstimator

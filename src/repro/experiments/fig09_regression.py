@@ -15,7 +15,6 @@ from repro.core.estimator import CongestionEstimator
 from repro.experiments.config import ExperimentConfig, one_per_core
 from repro.experiments.harness import FigureResult, calibration_for
 from repro.workloads.runtimes import Language
-from repro.workloads.traffic import GeneratorKind
 
 
 def run(

@@ -15,9 +15,10 @@ benchmarks render.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import diskcache
 from repro.analysis.errors import PriceErrorBreakdown, price_error_breakdown
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import geometric_mean
@@ -336,20 +337,82 @@ def run_price_evaluation(config: ExperimentConfig) -> PriceEvaluationResult:
 _PRICE_EVALUATION_CACHE: Dict[str, PriceEvaluationResult] = {}
 
 
+def _price_evaluation_to_dict(result: PriceEvaluationResult) -> Dict[str, Any]:
+    return {
+        "config_name": result.config_name,
+        "rows": [
+            {
+                "function": row.function,
+                "litmus_normalized_price": row.litmus_normalized_price,
+                "ideal_normalized_price": row.ideal_normalized_price,
+                "estimated_private_slowdown": row.estimated_private_slowdown,
+                "estimated_shared_slowdown": row.estimated_shared_slowdown,
+                "actual_private_slowdown": row.actual_private_slowdown,
+                "actual_shared_slowdown": row.actual_shared_slowdown,
+                "errors": {
+                    "function": row.errors.function,
+                    "private_error": row.errors.private_error,
+                    "shared_error": row.errors.shared_error,
+                    "total_error": row.errors.total_error,
+                },
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def _price_evaluation_from_dict(payload: Mapping[str, Any]) -> PriceEvaluationResult:
+    rows = tuple(
+        PriceComparisonRow(
+            function=row["function"],
+            litmus_normalized_price=row["litmus_normalized_price"],
+            ideal_normalized_price=row["ideal_normalized_price"],
+            estimated_private_slowdown=row["estimated_private_slowdown"],
+            estimated_shared_slowdown=row["estimated_shared_slowdown"],
+            actual_private_slowdown=row["actual_private_slowdown"],
+            actual_shared_slowdown=row["actual_shared_slowdown"],
+            errors=PriceErrorBreakdown(**row["errors"]),
+        )
+        for row in payload["rows"]
+    )
+    return PriceEvaluationResult(config_name=payload["config_name"], rows=rows)
+
+
 def price_evaluation_cached(config: ExperimentConfig) -> PriceEvaluationResult:
     """Run (or reuse) the price evaluation for a configuration.
 
     Several figures present different views of the same run — e.g. Figures
     11, 12 and 13 all come from the one-function-per-core evaluation — so
-    results are cached per configuration signature within the process.
+    results are cached per configuration signature within the process, and
+    persisted through the versioned on-disk cache so parallel figure
+    workers and repeated sweeps do not re-simulate the same environment.
+    The on-disk key fingerprints the complete configuration (machine
+    topology included) plus the scaled registry contents.
     """
     key = (
         f"{config.name}|{config.machine.name}|{config.registry_scale}"
         f"|{config.repetitions}|{config.total_functions}|{config.method.value}"
     )
-    if key not in _PRICE_EVALUATION_CACHE:
-        _PRICE_EVALUATION_CACHE[key] = run_price_evaluation(config)
-    return _PRICE_EVALUATION_CACHE[key]
+    if key in _PRICE_EVALUATION_CACHE:
+        return _PRICE_EVALUATION_CACHE[key]
+
+    disk_key = diskcache.fingerprint(
+        config, diskcache.registry_fingerprint(registry_for(config).all())
+    )
+    payload = diskcache.load("price-eval", disk_key)
+    if payload is not None:
+        try:
+            result = _price_evaluation_from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            result = None
+        if result is not None:
+            _PRICE_EVALUATION_CACHE[key] = result
+            return result
+
+    result = run_price_evaluation(config)
+    _PRICE_EVALUATION_CACHE[key] = result
+    diskcache.store("price-eval", disk_key, _price_evaluation_to_dict(result))
+    return result
 
 
 def clear_experiment_caches() -> None:

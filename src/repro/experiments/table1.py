@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.experiments.config import ExperimentConfig, one_per_core
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import FigureResult
 from repro.workloads.registry import default_registry, table1_rows
 from repro.workloads.runtimes import Language

@@ -66,6 +66,10 @@ class SharedCacheModel:
     def capacity_mb(self) -> float:
         return self._capacity_mb
 
+    @property
+    def utility_exponent(self) -> float:
+        return self._utility_exponent
+
     def allocate(self, demands: Sequence[CacheDemand]) -> Mapping[int, CacheAllocation]:
         """Split capacity among ``demands`` and derive effective hit fractions.
 

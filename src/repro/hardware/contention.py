@@ -22,7 +22,7 @@ congestion with the shapes the paper reports (``T_shared`` highly sensitive,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.hardware.cache import CacheDemand, SharedCacheModel
@@ -196,6 +196,115 @@ class ContentionModel:
                 bandwidth_utilization=bandwidth_utilization,
                 private_inflation=private_inflation,
             )
+        return penalties
+
+    def evaluate_tuples(
+        self, entries: Sequence[tuple]
+    ) -> dict[int, SharedResourcePenalty]:
+        """Exact, allocation-free replica of :meth:`evaluate`.
+
+        ``entries`` is a sequence of ``(workload_id, l2_miss_rate,
+        working_set_mb, solo_l3_hit_fraction, mlp)`` tuples.  The simulation
+        engine's fast path sits in a tight per-epoch loop where building one
+        :class:`WorkloadDemand` and one :class:`CacheDemand` per workload per
+        fixed-point iteration dominates; this method performs the identical
+        arithmetic — same operations, same iteration order, bit-identical
+        results (asserted by the fast-path property tests) — on plain tuples.
+        Behavioural changes must be made to :meth:`evaluate` (the reference
+        implementation) and mirrored here.
+        """
+        capacity_mb = self._cache.capacity_mb
+        utility_exponent = self._cache.utility_exponent
+
+        # --- SharedCacheModel.allocate, fused -------------------------- #
+        hit_fractions: dict[int, float] = {}
+        active = [e for e in entries if e[1] > 0 and e[2] > 0]
+        if len(active) != len(entries):
+            active_ids = {e[0] for e in active}
+            for workload_id, _, _, solo_hit, _ in entries:
+                if workload_id not in active_ids:
+                    hit_fractions[workload_id] = solo_hit
+
+        # _water_fill on the active workloads.  Shares are computed once per
+        # pass (the reference implementation recomputes the identical
+        # expression in its second loop, so reusing the value is exact).
+        remaining = {e[0]: e for e in active}
+        allocations: dict[int, float] = {e[0]: 0.0 for e in active}
+        remaining_capacity = capacity_mb
+        for _ in range(len(active) + 1):
+            if not remaining or remaining_capacity <= 1e-12:
+                break
+            total_rate = sum(e[1] for e in remaining.values())
+            if total_rate <= 0:
+                break
+            capped: list[int] = []
+            shares: dict[int, float] = {}
+            for workload_id, entry in remaining.items():
+                share = remaining_capacity * entry[1] / total_rate
+                shares[workload_id] = share
+                need = min(entry[2], capacity_mb)
+                if share >= need - allocations[workload_id]:
+                    capped.append(workload_id)
+            if not capped:
+                for workload_id, share in shares.items():
+                    allocations[workload_id] += share
+                remaining_capacity = 0.0
+                break
+            for workload_id in capped:
+                entry = remaining.pop(workload_id)
+                need = min(entry[2], capacity_mb)
+                grant = need - allocations[workload_id]
+                allocations[workload_id] = need
+                remaining_capacity -= grant
+
+        for workload_id, _, working_set_mb, solo_hit, _ in active:
+            need_mb = min(working_set_mb, capacity_mb)
+            if need_mb <= 0:
+                hit_fractions[workload_id] = solo_hit
+                continue
+            coverage = min(max(allocations[workload_id] / need_mb, 0.0), 1.0)
+            hit_fractions[workload_id] = solo_hit * coverage**utility_exponent
+
+        # --- aggregate loads ------------------------------------------- #
+        total_l3_lookups = sum(e[1] for e in entries)
+        line_size = self._machine.line_size_bytes
+        total_dram_bytes = 0.0
+        for workload_id, rate, _, _, _ in entries:
+            miss_rate = rate * (1.0 - hit_fractions[workload_id])
+            total_dram_bytes += miss_rate * line_size
+
+        ring_load = RingLoad(accesses_per_second=total_l3_lookups)
+        memory_load = MemoryLoad(bytes_per_second=total_dram_bytes)
+
+        l3_hit_latency = self._ring.effective_latency_cycles(ring_load)
+        memory_latency = self._memory.effective_latency_cycles(memory_load)
+        ring_utilization = self._ring.utilization(ring_load)
+        bandwidth_utilization = self._memory.utilization(memory_load)
+        private_inflation = 1.0 + self._parameters.private_pressure_sensitivity * max(
+            ring_utilization, bandwidth_utilization
+        )
+
+        # Constructing millions of frozen dataclasses per sweep is the
+        # hottest allocation site in the engine, and ``__init__`` spends its
+        # time routing every field through ``object.__setattr__``.  Building
+        # the instances through ``__dict__`` produces objects
+        # indistinguishable from constructor-built ones (same fields, same
+        # ``__eq__``/``__hash__``/``repr``) at a fifth of the cost.
+        penalties: dict[int, SharedResourcePenalty] = {}
+        new = object.__new__
+        cls = SharedResourcePenalty
+        for workload_id, _, _, _, _ in entries:
+            penalty = new(cls)
+            penalty.__dict__.update(
+                workload_id=workload_id,
+                l3_hit_fraction=hit_fractions[workload_id],
+                l3_hit_latency_cycles=l3_hit_latency,
+                memory_latency_cycles=memory_latency,
+                ring_utilization=ring_utilization,
+                bandwidth_utilization=bandwidth_utilization,
+                private_inflation=private_inflation,
+            )
+            penalties[workload_id] = penalty
         return penalties
 
     def solo_penalty(self, demand: WorkloadDemand) -> SharedResourcePenalty:

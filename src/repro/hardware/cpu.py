@@ -13,7 +13,6 @@ hardware side:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.hardware.contention import ContentionModel, ContentionParameters

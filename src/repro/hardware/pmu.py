@@ -17,7 +17,7 @@ two snapshots, exactly like a ``perf stat`` interval.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

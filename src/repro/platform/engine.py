@@ -16,10 +16,42 @@ epoch it:
 
 All randomness lives outside the engine (in workload selection); given the
 same submissions the engine is fully deterministic.
+
+Fast path
+---------
+
+Long stretches of a simulation are *stable*: the runnable set does not
+change, every invocation is mid-phase, and the contention fixed point has
+converged to an exact float fixed point.  Two optimizations exploit this
+without changing a single bit of output:
+
+* **Penalty memoization by runnable-set signature** — when an epoch's
+  signature (invocation ids, phase indices, thread occupancies, active
+  thread count) matches the previous epoch's and that epoch's fixed point
+  converged exactly, the stored :class:`SharedResourcePenalty` map *is*
+  what the fixed point would recompute, so the contention model is not
+  re-evaluated (:class:`PenaltySignatureCache`).
+
+* **Epoch skip-ahead** — inside :meth:`run_for`/:meth:`run_until`, once an
+  epoch is stable the engine advances through the provably stable epochs
+  that follow in one pass, stopping well before the next boundary
+  (submission, completion, probe-window edge, churn tick — all of which
+  coincide with phase boundaries — or the caller's time limit).  The pass
+  replicates the exact sequence of floating-point additions the
+  epoch-by-epoch loop would have performed on every accumulator, so the
+  result is bit-identical, just without re-deriving the per-epoch deltas.
+
+Both paths can be disabled with ``EngineConfig(fast_path=False)``; the
+property tests assert that fast and disabled runs produce identical states.
+Callers of :meth:`run_until` must pass predicates that only change when an
+invocation starts or finishes (every predicate in this repository does) —
+a predicate watching raw counters or the clock could otherwise observe
+fewer intermediate epochs than the slow path exposes.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -33,6 +65,16 @@ from repro.workloads.function import FunctionSpec
 
 FinishListener = Callable[[Invocation, "SimulationEngine"], None]
 
+#: A stable span stops this many epochs short of the nearest predicted phase
+#: boundary and lets the epoch-by-epoch path cross it, so accumulated
+#: floating-point state at the boundary matches the slow path bit for bit.
+_SPAN_MARGIN_EPOCHS = 2
+
+#: Signature of one epoch's runnable set: (active thread count, then one
+#: (invocation id, phase index, thread occupancy) triple per runnable
+#: invocation in collection order).
+RunnableSignature = Tuple[int, Tuple[Tuple[int, int, int], ...]]
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -41,12 +83,127 @@ class EngineConfig:
     epoch_seconds: float = 1e-3
     fixed_point_iterations: int = 2
     record_events: bool = True
+    #: Enable the exact fast path (penalty memoization + epoch skip-ahead).
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.epoch_seconds <= 0:
             raise ValueError("epoch_seconds must be positive")
         if self.fixed_point_iterations < 1:
             raise ValueError("fixed_point_iterations must be >= 1")
+
+
+@dataclass
+class FastPathStats:
+    """Observability counters for the engine's fast path."""
+
+    stepped_epochs: int = 0
+    span_epochs: int = 0
+    spans: int = 0
+    fixed_point_evaluations: int = 0
+    fixed_point_reuses: int = 0
+
+    @property
+    def total_epochs(self) -> int:
+        return self.stepped_epochs + self.span_epochs
+
+
+class PenaltySignatureCache:
+    """Memoizes converged contention penalties by runnable-set signature.
+
+    The fixed point warm-starts from the previous epoch's penalties, so a
+    stored penalty map is provably what the next epoch would recompute only
+    when (a) that map was an *exact* float fixed point (one more iteration
+    reproduces it bit for bit) and (b) the next epoch's signature matches
+    the one it was stored under — i.e. the entry comes from the immediately
+    preceding epoch.  The cache therefore keeps a single entry: any epoch
+    with a different signature overwrites it, which doubles as the
+    invalidation rule.
+    """
+
+    def __init__(self) -> None:
+        self._signature: Optional[RunnableSignature] = None
+        self._penalties: Optional[Dict[int, SharedResourcePenalty]] = None
+        self._converged = False
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def converged(self) -> bool:
+        return self._converged
+
+    @property
+    def signature(self) -> Optional[RunnableSignature]:
+        return self._signature
+
+    def lookup(
+        self, signature: RunnableSignature
+    ) -> Optional[Dict[int, SharedResourcePenalty]]:
+        """Return the stored penalties if reusable for ``signature``."""
+        if self._converged and self._penalties is not None and signature == self._signature:
+            self.hits += 1
+            return self._penalties
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        signature: RunnableSignature,
+        penalties: Dict[int, SharedResourcePenalty],
+        converged: bool,
+    ) -> None:
+        self._signature = signature
+        self._penalties = penalties
+        self._converged = converged
+
+    def invalidate(self) -> None:
+        self._signature = None
+        self._penalties = None
+        self._converged = False
+
+
+def _repeat_add(base: float, increment: float, count: int) -> float:
+    """``count`` sequential float additions — NOT ``base + count * increment``.
+
+    Floating-point addition is not associative; the skip-ahead path uses
+    this helper so each accumulator receives exactly the same rounding
+    sequence as the epoch-by-epoch loop.
+    """
+    if increment == 0.0:
+        return base
+    for _ in range(count):
+        base += increment
+    return base
+
+
+class _SpanInvocationState:
+    """Per-invocation constants of one stable span (one epoch's deltas)."""
+
+    __slots__ = (
+        "invocation",
+        "cursor",
+        "retired",
+        "cycles",
+        "stall",
+        "l2",
+        "l3",
+        "occupied_seconds",
+        "has_switch",
+        "occupancy",
+    )
+
+    def __init__(self, invocation, cursor, retired, cycles, stall, l2, l3,
+                 occupied_seconds, has_switch, occupancy):
+        self.invocation = invocation
+        self.cursor = cursor
+        self.retired = retired
+        self.cycles = cycles
+        self.stall = stall
+        self.l2 = l2
+        self.l3 = l3
+        self.occupied_seconds = occupied_seconds
+        self.has_switch = has_switch
+        self.occupancy = occupancy
 
 
 class SimulationEngine:
@@ -71,6 +228,19 @@ class SimulationEngine:
         self._finish_listeners: List[FinishListener] = []
         self._penalty_cache: Dict[int, SharedResourcePenalty] = {}
         self._event_log = EventLog()
+        # Fast-path state.
+        self._signature_cache = PenaltySignatureCache()
+        self._stats = FastPathStats()
+        self._switch_factor_cache: Dict[int, float] = {}
+        self._span_ready = False
+        self._last_runnable: List[Tuple[Invocation, float, int]] = []
+        self._last_multipliers: Dict[int, float] = {}
+        self._last_penalties: Dict[int, SharedResourcePenalty] = {}
+        self._last_frequency_hz = 0.0
+        # The thread list is fixed for the CPU's lifetime; multiplying by the
+        # SMT sibling penalty is an exact no-op (``x * 1.0``) when SMT is off.
+        self._threads = cpu.threads
+        self._smt_active = cpu.smt_enabled
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -98,6 +268,15 @@ class SimulationEngine:
     @property
     def scheduler(self) -> Scheduler:
         return self._scheduler
+
+    @property
+    def fast_path_stats(self) -> FastPathStats:
+        """Counters describing how much work the fast path saved."""
+        return self._stats
+
+    @property
+    def penalty_signature_cache(self) -> PenaltySignatureCache:
+        return self._signature_cache
 
     def invocation(self, invocation_id: int) -> Invocation:
         try:
@@ -144,6 +323,7 @@ class SimulationEngine:
         (cold-start queueing is outside the paper's scope), so submission
         also transitions the invocation to RUNNING.
         """
+        self._span_ready = False
         sandbox = Sandbox(
             sandbox_id=self._next_sandbox_id,
             memory_mb=spec.memory_mb,
@@ -176,26 +356,77 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def run_epoch(self) -> None:
         """Advance simulated time by one epoch."""
+        self._span_ready = False
+        self._stats.stepped_epochs += 1
         dt = self._config.epoch_seconds
         now = self._time + dt
-        runnable = self._collect_runnable(dt)
+        fast = self._config.fast_path
+        runnable, busy_threads = self._collect_runnable(dt)
         if not runnable:
             self._cpu.global_counters.observe(elapsed_seconds=dt)
             self._time = now
             return
 
-        frequency_hz = self._cpu.governor.frequency_hz(self._cpu.active_thread_count)
-        penalties = self._fixed_point(runnable, frequency_hz, dt)
-        self._penalty_cache = dict(penalties)
+        # ``busy_threads`` (threads with a non-empty run queue) is exactly
+        # ``CPU.active_thread_count`` — counted here to avoid a second scan.
+        frequency_hz = self._cpu.governor.frequency_hz(busy_threads)
+        if fast and not self._smt_active:
+            switch_factor = self._switch_factor
+            multipliers = {
+                invocation.invocation_id: switch_factor(occupancy)
+                for invocation, _, occupancy in runnable
+            }
+        else:
+            multipliers = {
+                invocation.invocation_id: self._private_multiplier(invocation, occupancy)
+                for invocation, _, occupancy in runnable
+            }
 
+        # The signature is only needed to look up or store converged
+        # penalties; when the previous epoch did not converge, neither can
+        # happen, so the construction is skipped entirely.
+        signature: Optional[RunnableSignature] = None
+        penalties: Optional[Dict[int, SharedResourcePenalty]] = None
+        converged = False
+        if fast and self._signature_cache.converged:
+            signature = self._runnable_signature(runnable, busy_threads)
+            cached = self._signature_cache.lookup(signature)
+            if cached is not None and self._steady_demands_hold(
+                runnable, cached, multipliers, frequency_hz
+            ):
+                # The previous epoch had the same signature and its penalties
+                # are an exact fixed point, so re-evaluating the contention
+                # model would reproduce them bit for bit.
+                penalties = cached
+                converged = True
+                self._stats.fixed_point_reuses += 1
+        if penalties is None:
+            fixed_point = self._fixed_point_fast if fast else self._fixed_point
+            penalties, converged = fixed_point(runnable, frequency_hz, dt, multipliers)
+            self._stats.fixed_point_evaluations += 1
+            if converged:
+                if signature is None:
+                    signature = self._runnable_signature(runnable, busy_threads)
+                self._signature_cache.store(signature, penalties, converged)
+            else:
+                self._signature_cache.invalidate()
+        self._penalty_cache = penalties if fast else dict(penalties)
+
+        advance = self._advance_invocation_fast if fast else self._advance_invocation
         finished: List[Invocation] = []
         for invocation, share_seconds, occupancy in runnable:
             penalty = penalties.get(invocation.invocation_id)
             if penalty is None:
                 # The invocation had no current profile (already finished).
                 continue
-            self._advance_invocation(
-                invocation, share_seconds, occupancy, penalty, frequency_hz, dt
+            advance(
+                invocation,
+                share_seconds,
+                occupancy,
+                penalty,
+                frequency_hz,
+                dt,
+                multipliers[invocation.invocation_id],
             )
             if not invocation.startup_recorded and not invocation.is_traffic_generator:
                 if invocation.cursor.startup_complete:
@@ -209,8 +440,27 @@ class SimulationEngine:
         self._cpu.global_counters.observe(elapsed_seconds=dt)
         self._time = now
 
-        for invocation in finished:
-            self._finish(invocation)
+        if finished:
+            for invocation in finished:
+                self._finish(invocation)
+        elif self._config.fast_path and converged:
+            # The penalties are an exact fixed point and nothing changed the
+            # runnable set this epoch (finish listeners can only fire on
+            # completions, so no submissions happened either).  The fixed
+            # point only carries over if no invocation crossed a phase
+            # boundary while advancing — a new phase means a new resource
+            # profile and therefore new demands.
+            if all(
+                invocation.cursor.phase_index == phase_index
+                for (invocation, _, _), (_, phase_index, _) in zip(
+                    runnable, signature[1]
+                )
+            ):
+                self._span_ready = True
+                self._last_runnable = runnable
+                self._last_multipliers = multipliers
+                self._last_penalties = penalties
+                self._last_frequency_hz = frequency_hz
 
     def run_for(self, seconds: float) -> None:
         """Advance the simulation by (at least) ``seconds``."""
@@ -219,6 +469,8 @@ class SimulationEngine:
         target = self._time + seconds
         while self._time < target - 1e-12:
             self.run_epoch()
+            if self._span_ready:
+                self._run_stable_span(target, 1e-12)
 
     def run_until(
         self,
@@ -227,7 +479,12 @@ class SimulationEngine:
     ) -> bool:
         """Run epochs until ``predicate(self)`` holds or the budget expires.
 
-        Returns ``True`` if the predicate was satisfied.
+        Returns ``True`` if the predicate was satisfied.  Predicates must be
+        functions of state that only changes when an invocation starts or
+        finishes (completion flags, driver ``done`` properties, ...): the
+        fast path advances through stable stretches without re-evaluating
+        the predicate, which is indistinguishable for such predicates
+        because no invocation starts or finishes inside a stable stretch.
         """
         if max_seconds <= 0:
             raise ValueError("max_seconds must be positive")
@@ -236,29 +493,232 @@ class SimulationEngine:
             if predicate(self):
                 return True
             self.run_epoch()
+            if self._span_ready:
+                self._run_stable_span(deadline, 0.0)
         return predicate(self)
+
+    # ------------------------------------------------------------------ #
+    # Fast path internals
+    # ------------------------------------------------------------------ #
+    def _runnable_signature(
+        self,
+        runnable: Sequence[Tuple[Invocation, float, int]],
+        busy_threads: int,
+    ) -> RunnableSignature:
+        return (
+            busy_threads,
+            tuple(
+                (invocation.invocation_id, invocation.cursor.phase_index, occupancy)
+                for invocation, _, occupancy in runnable
+            ),
+        )
+
+    def _steady_demands_hold(
+        self,
+        runnable: Sequence[Tuple[Invocation, float, int]],
+        penalties: Dict[int, SharedResourcePenalty],
+        multipliers: Dict[int, float],
+        frequency_hz: float,
+    ) -> bool:
+        """True when this epoch's fixed-point demands equal the cached ones.
+
+        The demand an invocation generates stops matching the cached steady
+        state only when its remaining instructions start binding the
+        ``min()`` in :meth:`_fixed_point` — i.e. in its final epoch.  The
+        check recomputes the per-epoch instruction intake from the cached
+        penalties with the exact arithmetic the fixed point uses.
+        """
+        for invocation, share_seconds, occupancy in runnable:
+            profile = invocation.cursor.current_profile
+            if profile is None:
+                return False
+            penalty = penalties.get(invocation.invocation_id)
+            if penalty is None:
+                return False
+            stall_per_inst = (profile.l2_mpki / 1000.0) * (
+                penalty.stall_cycles_per_l2_miss(profile.mlp)
+            )
+            cpi_effective = (
+                profile.cpi_base
+                * penalty.private_inflation
+                * multipliers[invocation.invocation_id]
+            ) + stall_per_inst
+            possible = share_seconds * frequency_hz / cpi_effective
+            if possible > invocation.cursor.instructions_remaining:
+                return False
+        return True
+
+    def _run_stable_span(self, stop_time: float, epsilon: float) -> None:
+        """Advance through the provably stable epochs after a stable epoch.
+
+        Replicates, accumulator by accumulator, the exact float-addition
+        sequence the epoch-by-epoch loop would perform, while skipping the
+        re-derivation of per-epoch deltas (contention fixed point, CPI,
+        phase lookups).  Stops ``_SPAN_MARGIN_EPOCHS`` short of the nearest
+        phase boundary so boundary crossings — completions, probe-window
+        edges, churn resubmissions — happen on the exact path.
+        """
+        dt = self._config.epoch_seconds
+        frequency_hz = self._last_frequency_hz
+        penalties = self._last_penalties
+        multipliers = self._last_multipliers
+
+        states: List[_SpanInvocationState] = []
+        max_epochs: Optional[int] = None
+        for invocation, share_seconds, occupancy in self._last_runnable:
+            cursor = invocation.cursor
+            profile = cursor.current_profile
+            penalty = penalties.get(invocation.invocation_id)
+            if profile is None or penalty is None:
+                return
+            if (
+                not invocation.is_traffic_generator
+                and not invocation.startup_recorded
+                and cursor.startup_complete
+            ):
+                return
+            budget_cycles = share_seconds * frequency_hz
+            if budget_cycles <= 1.0:
+                return
+            stall_per_instruction = (profile.l2_mpki / 1000.0) * (
+                penalty.stall_cycles_per_l2_miss(profile.mlp)
+            )
+            cpi_private = (
+                profile.cpi_base
+                * penalty.private_inflation
+                * multipliers[invocation.invocation_id]
+            )
+            cpi_effective = cpi_private + stall_per_instruction
+            retired = budget_cycles / cpi_effective
+            if retired <= 0.0:
+                return
+            headroom = min(
+                cursor.phase_instructions_remaining(), cursor.instructions_remaining
+            )
+            epochs_here = int(math.floor(headroom / retired)) - _SPAN_MARGIN_EPOCHS
+            if epochs_here < 1:
+                return
+            if max_epochs is None or epochs_here < max_epochs:
+                max_epochs = epochs_here
+            cycles = retired * cpi_effective
+            l2 = retired * profile.l2_mpki / 1000.0
+            states.append(
+                _SpanInvocationState(
+                    invocation=invocation,
+                    cursor=cursor,
+                    retired=retired,
+                    cycles=cycles,
+                    stall=retired * stall_per_instruction,
+                    l2=l2,
+                    l3=l2 * (1.0 - penalty.l3_hit_fraction),
+                    occupied_seconds=cycles / frequency_hz,
+                    has_switch=occupancy > 1,
+                    occupancy=occupancy,
+                )
+            )
+        if max_epochs is None:
+            return
+
+        # How many of those epochs the caller's time limit actually admits:
+        # replicate the outer loop's `time < stop - epsilon` check against
+        # the exact accumulated clock.
+        clock = self._time
+        epochs = 0
+        while epochs < max_epochs and clock < stop_time - epsilon:
+            clock += dt
+            epochs += 1
+        if epochs < 1:
+            return
+
+        # Shared (machine-wide) counters receive one addition per invocation
+        # per epoch, in collection order — replicate that interleaving.
+        g = self._cpu.global_counters
+        g_cycles = g.cycles
+        g_instructions = g.instructions
+        g_stall = g.stall_cycles_l2_miss
+        g_l2 = g.l2_misses
+        g_l3 = g.l3_misses
+        g_switches = g.context_switches
+        deltas = [
+            (s.cycles, s.retired, s.stall, s.l2, s.l3, s.has_switch) for s in states
+        ]
+        for _ in range(epochs):
+            for cycles, retired, stall, l2, l3, has_switch in deltas:
+                g_cycles += cycles
+                g_instructions += retired
+                g_stall += stall
+                g_l2 += l2
+                g_l3 += l3
+                if has_switch:
+                    g_switches += 1.0
+        g.cycles = g_cycles
+        g.instructions = g_instructions
+        g.stall_cycles_l2_miss = g_stall
+        g.l2_misses = g_l2
+        g.l3_misses = g_l3
+        g.context_switches = g_switches
+        g.elapsed_seconds = _repeat_add(g.elapsed_seconds, dt, epochs)
+
+        # Per-invocation accumulators are independent of each other, so each
+        # can replay its additions separately.
+        for s in states:
+            into_phase, retired_total = s.cursor.span_snapshot()
+            s.cursor.span_restore(
+                _repeat_add(into_phase, s.retired, epochs),
+                _repeat_add(retired_total, s.retired, epochs),
+            )
+            c = s.invocation.counters
+            c.cycles = _repeat_add(c.cycles, s.cycles, epochs)
+            c.instructions = _repeat_add(c.instructions, s.retired, epochs)
+            c.stall_cycles_l2_miss = _repeat_add(c.stall_cycles_l2_miss, s.stall, epochs)
+            c.l2_misses = _repeat_add(c.l2_misses, s.l2, epochs)
+            c.l3_misses = _repeat_add(c.l3_misses, s.l3, epochs)
+            if s.has_switch:
+                c.context_switches = _repeat_add(c.context_switches, 1.0, epochs)
+            c.elapsed_seconds = _repeat_add(c.elapsed_seconds, s.occupied_seconds, epochs)
+            s.invocation.span_observe_occupancy(s.occupancy, dt, epochs)
+
+        self._time = clock
+        self._stats.span_epochs += epochs
+        self._stats.spans += 1
+        # The runnable set is untouched, so the span state stays valid; the
+        # next `run_epoch` will reuse the cached penalties through the
+        # signature cache and step the boundary epochs exactly.
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _collect_runnable(
         self, dt: float
-    ) -> List[Tuple[Invocation, float, int]]:
+    ) -> Tuple[List[Tuple[Invocation, float, int]], int]:
+        """Runnable (invocation, epoch share, occupancy) triples + busy threads."""
         runnable: List[Tuple[Invocation, float, int]] = []
-        for thread in self._cpu.threads:
+        busy_threads = 0
+        invocations = self._invocations
+        running = InvocationState.RUNNING
+        for thread in self._threads:
             if not thread.run_queue:
                 continue
+            busy_threads += 1
             occupancy = len(thread.run_queue)
             share = dt / occupancy
             for invocation_id in list(thread.run_queue):
-                invocation = self._invocations[invocation_id]
-                if invocation.state is InvocationState.RUNNING:
+                invocation = invocations[invocation_id]
+                if invocation.state is running:
                     runnable.append((invocation, share, occupancy))
-        return runnable
+        return runnable, busy_threads
+
+    def _switch_factor(self, occupancy: int) -> float:
+        """Memoized ``SwitchingOverheadModel.factor`` (it is pure)."""
+        factor = self._switch_factor_cache.get(occupancy)
+        if factor is None:
+            factor = self._switching_overhead.factor(occupancy)
+            self._switch_factor_cache[occupancy] = factor
+        return factor
 
     def _private_multiplier(self, invocation: Invocation, occupancy: int) -> float:
         """Private-execution inflation from temporal sharing and SMT."""
-        multiplier = self._switching_overhead.factor(occupancy)
+        multiplier = self._switch_factor(occupancy)
         if invocation.thread_id is not None:
             multiplier *= self._cpu.smt_private_penalty(invocation.thread_id)
         return multiplier
@@ -268,9 +728,21 @@ class SimulationEngine:
         runnable: Sequence[Tuple[Invocation, float, int]],
         frequency_hz: float,
         dt: float,
-    ) -> Dict[int, SharedResourcePenalty]:
+        multipliers: Dict[int, float],
+    ) -> Tuple[Dict[int, SharedResourcePenalty], bool]:
+        """Iterate the contention model; report exact convergence.
+
+        Returns ``(penalties, converged)`` where ``converged`` means the
+        epoch reproduced its own warm start bit for bit: the returned map is
+        an exact float fixed point of the whole per-epoch iteration, so the
+        next epoch with identical demands would return the same map.  (This
+        is deliberately checked against the epoch's *input* rather than the
+        last iteration's, so a fixed point of the composed iterations — e.g.
+        a period-two oscillation of the single iteration — still counts.)
+        """
         machine = self._cpu.machine
         penalties: Dict[int, SharedResourcePenalty] = dict(self._penalty_cache)
+        initial: Dict[int, SharedResourcePenalty] = penalties
         for _ in range(self._config.fixed_point_iterations):
             demands: List[WorkloadDemand] = []
             for invocation, share_seconds, occupancy in runnable:
@@ -291,7 +763,7 @@ class SimulationEngine:
                 cpi_private = (
                     profile.cpi_base
                     * private_inflation
-                    * self._private_multiplier(invocation, occupancy)
+                    * multipliers[invocation.invocation_id]
                 )
                 cpi_effective = cpi_private + stall_per_inst
                 cycles_available = share_seconds * frequency_hz
@@ -310,7 +782,178 @@ class SimulationEngine:
                     )
                 )
             penalties = dict(self._cpu.contention.evaluate(demands))
-        return penalties
+        converged = all(
+            initial.get(workload_id) == penalty
+            for workload_id, penalty in penalties.items()
+        )
+        return penalties, converged
+
+    def _fixed_point_fast(
+        self,
+        runnable: Sequence[Tuple[Invocation, float, int]],
+        frequency_hz: float,
+        dt: float,
+        multipliers: Dict[int, float],
+    ) -> Tuple[Dict[int, SharedResourcePenalty], bool]:
+        """Bit-identical replica of :meth:`_fixed_point` with hoisted state.
+
+        Per-invocation values that cannot change across iterations (profile
+        fields, cycle budget, remaining instructions, multiplier) are read
+        once per epoch instead of once per iteration, and the contention
+        model is driven through :meth:`ContentionModel.evaluate_tuples`
+        instead of per-iteration ``WorkloadDemand`` construction.  Every
+        arithmetic expression keeps the reference implementation's operand
+        order.  Behavioural changes go into :meth:`_fixed_point` first.
+        """
+        machine = self._cpu.machine
+        l3_latency = machine.l3.latency_cycles
+        memory_latency = machine.memory_latency_cycles
+        rows = []
+        for invocation, share_seconds, occupancy in runnable:
+            profile = invocation.cursor.current_profile
+            if profile is None:
+                continue
+            rows.append(
+                (
+                    invocation.invocation_id,
+                    profile,
+                    profile.l2_mpki,
+                    profile.l2_mpki / 1000.0,
+                    profile.mlp,
+                    profile.cpi_base,
+                    multipliers[invocation.invocation_id],
+                    share_seconds * frequency_hz,
+                    invocation.cursor.instructions_remaining,
+                    profile.working_set_mb,
+                    profile.solo_l3_hit_fraction,
+                )
+            )
+        # Read-only warm start: the loop rebinds ``penalties`` to a fresh
+        # dict from ``evaluate_tuples``, so no copy is needed.
+        penalties: Dict[int, SharedResourcePenalty] = self._penalty_cache
+        initial: Dict[int, SharedResourcePenalty] = penalties
+        evaluate_tuples = self._cpu.contention.evaluate_tuples
+        for _ in range(self._config.fixed_point_iterations):
+            demands = []
+            for (
+                workload_id,
+                profile,
+                l2_mpki,
+                mpki_per_inst,
+                mlp,
+                cpi_base,
+                multiplier,
+                cycles_available,
+                remaining,
+                working_set_mb,
+                solo_hit,
+            ) in rows:
+                penalty = penalties.get(workload_id)
+                if penalty is None:
+                    stall_per_inst = profile.solo_stall_cycles_per_instruction(
+                        l3_latency, memory_latency
+                    )
+                    private_inflation = 1.0
+                else:
+                    hit_fraction = penalty.l3_hit_fraction
+                    stall_per_inst = mpki_per_inst * (
+                        (
+                            hit_fraction * penalty.l3_hit_latency_cycles
+                            + (1.0 - hit_fraction) * penalty.memory_latency_cycles
+                        )
+                        / mlp
+                    )
+                    private_inflation = penalty.private_inflation
+                cpi_effective = cpi_base * private_inflation * multiplier + stall_per_inst
+                instructions = min(cycles_available / cpi_effective, remaining)
+                l2_miss_rate = instructions * l2_mpki / 1000.0 / dt
+                demands.append(
+                    (workload_id, l2_miss_rate, working_set_mb, solo_hit, mlp)
+                )
+            penalties = evaluate_tuples(demands)
+        converged = all(
+            initial.get(workload_id) == penalty
+            for workload_id, penalty in penalties.items()
+        )
+        return penalties, converged
+
+    def _advance_invocation_fast(
+        self,
+        invocation: Invocation,
+        share_seconds: float,
+        occupancy: int,
+        penalty: SharedResourcePenalty,
+        frequency_hz: float,
+        dt: float,
+        multiplier: float,
+    ) -> None:
+        """Bit-identical replica of :meth:`_advance_invocation`.
+
+        Hoists loop-invariant penalty terms and accumulates the performance
+        counters with direct attribute additions (``PMUCounters.observe``
+        validates seven already-non-negative values per call, which is pure
+        overhead on this path).  The addition order per accumulator matches
+        the reference implementation exactly.  Behavioural changes go into
+        :meth:`_advance_invocation` first.
+        """
+        cursor = invocation.cursor
+        budget_cycles = share_seconds * frequency_hz
+        total_cycles = 0.0
+        total_instructions = 0.0
+        total_stall = 0.0
+        total_l2 = 0.0
+        total_l3 = 0.0
+
+        hit_term = (
+            penalty.l3_hit_fraction * penalty.l3_hit_latency_cycles
+            + (1.0 - penalty.l3_hit_fraction) * penalty.memory_latency_cycles
+        )
+        inflation = penalty.private_inflation
+        miss_fraction = 1.0 - penalty.l3_hit_fraction
+        watch_startup = (
+            not invocation.is_traffic_generator and not invocation.startup_recorded
+        )
+
+        while budget_cycles > 1.0 and not cursor.finished:
+            profile = cursor.current_profile
+            stall_per_instruction = (profile.l2_mpki / 1000.0) * (hit_term / profile.mlp)
+            cpi_effective = (
+                profile.cpi_base * inflation * multiplier + stall_per_instruction
+            )
+            retired = cursor.advance(budget_cycles / cpi_effective)
+            if retired <= 0:
+                break
+            cycles = retired * cpi_effective
+            total_cycles += cycles
+            total_instructions += retired
+            total_stall += retired * stall_per_instruction
+            l2_misses = retired * profile.l2_mpki / 1000.0
+            total_l2 += l2_misses
+            total_l3 += l2_misses * miss_fraction
+            budget_cycles -= cycles
+            if watch_startup and cursor.startup_complete:
+                break
+
+        occupied_seconds = total_cycles / frequency_hz
+        counters = invocation.counters
+        counters.cycles += total_cycles
+        counters.instructions += total_instructions
+        counters.stall_cycles_l2_miss += total_stall
+        counters.l2_misses += total_l2
+        counters.l3_misses += total_l3
+        global_counters = self._cpu.global_counters
+        global_counters.cycles += total_cycles
+        global_counters.instructions += total_instructions
+        global_counters.stall_cycles_l2_miss += total_stall
+        global_counters.l2_misses += total_l2
+        global_counters.l3_misses += total_l3
+        if occupancy > 1:
+            counters.context_switches += 1.0
+            global_counters.context_switches += 1.0
+        counters.elapsed_seconds += occupied_seconds
+        # Inlined observe_occupancy (occupancy >= 1 and dt > 0 by construction).
+        invocation._occupancy_weighted_sum += occupancy * dt
+        invocation._occupancy_weight += dt
 
     def _advance_invocation(
         self,
@@ -320,6 +963,7 @@ class SimulationEngine:
         penalty: SharedResourcePenalty,
         frequency_hz: float,
         dt: float,
+        multiplier: float,
     ) -> None:
         budget_cycles = share_seconds * frequency_hz
         total_cycles = 0.0
@@ -337,7 +981,7 @@ class SimulationEngine:
             cpi_private = (
                 profile.cpi_base
                 * penalty.private_inflation
-                * self._private_multiplier(invocation, occupancy)
+                * multiplier
             )
             cpi_effective = cpi_private + stall_per_instruction
             instructions_possible = budget_cycles / cpi_effective
@@ -386,6 +1030,7 @@ class SimulationEngine:
         invocation.observe_occupancy(occupancy, dt)
 
     def _finish(self, invocation: Invocation) -> None:
+        self._span_ready = False
         thread_id = invocation.thread_id
         if thread_id is not None:
             self._cpu.thread(thread_id).dequeue(invocation.invocation_id)

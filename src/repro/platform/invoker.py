@@ -100,6 +100,24 @@ class Invocation:
         self._occupancy_weighted_sum += occupancy * weight_seconds
         self._occupancy_weight += weight_seconds
 
+    def span_observe_occupancy(
+        self, occupancy: int, weight_seconds: float, epochs: int
+    ) -> None:
+        """Replay ``epochs`` sequential :meth:`observe_occupancy` calls.
+
+        Used by the engine's skip-ahead path; performs the same float
+        additions one by one so the accumulated values match the
+        epoch-by-epoch path bit for bit.
+        """
+        increment = occupancy * weight_seconds
+        weighted = self._occupancy_weighted_sum
+        weight = self._occupancy_weight
+        for _ in range(epochs):
+            weighted += increment
+            weight += weight_seconds
+        self._occupancy_weighted_sum = weighted
+        self._occupancy_weight = weight
+
     # ------------------------------------------------------------------ #
     # Derived views
     # ------------------------------------------------------------------ #

@@ -13,12 +13,19 @@ On the real system the paper obtains these numbers by profiling functions in
 isolation offline.  Here the :class:`SoloOracle` simply runs the function
 alone on a private engine instance and caches the result; runs are
 deterministic, so one execution per (machine, spec) pair suffices.
+
+Profiles are additionally persisted through the versioned on-disk cache
+(:mod:`repro.diskcache`), keyed by the machine topology, the engine
+configuration, the contention parameters and the full function spec —
+so every figure of a sweep, in any process, profiles each function once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro import diskcache
 
 from repro.hardware.cpu import CPU
 from repro.hardware.frequency import FrequencyPolicy
@@ -57,6 +64,21 @@ class SoloProfile:
     def t_total_seconds(self) -> float:
         return self.execution.t_total_seconds
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-encodable form (floats round-trip exactly)."""
+        return {
+            "execution": asdict(self.execution),
+            "startup": None if self.startup is None else asdict(self.startup),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SoloProfile":
+        startup = payload.get("startup")
+        return cls(
+            execution=InvocationMeasurement(**payload["execution"]),
+            startup=None if startup is None else StartupMeasurement(**startup),
+        )
+
 
 class SoloOracle:
     """Runs functions alone on the machine and caches their measurements."""
@@ -67,15 +89,22 @@ class SoloOracle:
         *,
         contention_parameters: Optional[ContentionParameters] = None,
         engine_config: Optional[EngineConfig] = None,
+        use_disk_cache: bool = True,
     ) -> None:
         self._machine = machine
         self._contention_parameters = contention_parameters
         self._engine_config = engine_config or EngineConfig()
+        self._use_disk_cache = use_disk_cache
         self._cache: Dict[Tuple[str, float], SoloProfile] = {}
 
     @property
     def machine(self) -> MachineSpec:
         return self._machine
+
+    @property
+    def contention_parameters(self) -> Optional[ContentionParameters]:
+        """The contention coefficients the oracle profiles under (None = defaults)."""
+        return self._contention_parameters
 
     @staticmethod
     def _key(spec: FunctionSpec) -> Tuple[str, float]:
@@ -83,14 +112,39 @@ class SoloOracle:
         # of the same benchmark never collide in the cache.
         return (spec.abbreviation, spec.total_instructions)
 
+    def _disk_key(self, spec: FunctionSpec) -> str:
+        # The fast path changes no output bit, so it is deliberately left
+        # out of the key: profiles computed with it on and off are
+        # interchangeable.
+        return diskcache.fingerprint(
+            self._machine,
+            self._contention_parameters,
+            self._engine_config.epoch_seconds,
+            self._engine_config.fixed_point_iterations,
+            spec,
+        )
+
     def profile(self, spec: FunctionSpec) -> SoloProfile:
         """Return (possibly cached) solo measurements for ``spec``."""
         key = self._key(spec)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        disk_key = self._disk_key(spec) if self._use_disk_cache else None
+        if disk_key is not None:
+            payload = diskcache.load("solo", disk_key)
+            if payload is not None:
+                try:
+                    profile = SoloProfile.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    profile = None  # schema drift / corruption: recompute
+                if profile is not None:
+                    self._cache[key] = profile
+                    return profile
         profile = self._run_solo(spec)
         self._cache[key] = profile
+        if disk_key is not None:
+            diskcache.store("solo", disk_key, profile.to_dict())
         return profile
 
     def clear(self) -> None:

@@ -13,8 +13,9 @@ it for the current resource profile each epoch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Sequence, Tuple
 
 from repro.workloads.phases import ExecutionPhase, PhaseKind, ResourceProfile
 from repro.workloads.runtimes import Language, LanguageRuntime, runtime_for
@@ -52,7 +53,12 @@ class FunctionSpec:
     def runtime(self) -> LanguageRuntime:
         return runtime_for(self.language)
 
-    @property
+    # The phase list and its instruction totals are immutable once the spec
+    # is built but sit on the engine's per-epoch hot path, so they are
+    # computed once per instance (``cached_property`` stores into the
+    # instance ``__dict__``, which works on frozen dataclasses and does not
+    # participate in equality or hashing).
+    @cached_property
     def phases(self) -> Tuple[ExecutionPhase, ...]:
         """Startup phases followed by body phases."""
         if self.is_traffic_generator:
@@ -60,7 +66,7 @@ class FunctionSpec:
         startup = tuple(self.runtime.startup_for(self.startup_scale))
         return startup + self.body_phases
 
-    @property
+    @cached_property
     def startup_instructions(self) -> float:
         """Instructions executed before the function body begins."""
         if self.is_traffic_generator:
@@ -71,11 +77,11 @@ class FunctionSpec:
             if phase.kind is PhaseKind.STARTUP
         )
 
-    @property
+    @cached_property
     def body_instructions(self) -> float:
         return sum(phase.instructions for phase in self.body_phases)
 
-    @property
+    @cached_property
     def total_instructions(self) -> float:
         return sum(phase.instructions for phase in self.phases)
 
@@ -111,6 +117,9 @@ class PhaseCursor:
     def __init__(self, spec: FunctionSpec) -> None:
         self._spec = spec
         self._phases: Sequence[ExecutionPhase] = spec.phases
+        self._phase_count = len(self._phases)
+        self._total_instructions = spec.total_instructions
+        self._startup_instructions = spec.startup_instructions
         self._phase_index = 0
         self._instructions_into_phase = 0.0
         self._instructions_retired = 0.0
@@ -121,7 +130,12 @@ class PhaseCursor:
 
     @property
     def finished(self) -> bool:
-        return self._phase_index >= len(self._phases)
+        return self._phase_index >= self._phase_count
+
+    @property
+    def phase_index(self) -> int:
+        """Index of the current phase (== phase count once finished)."""
+        return self._phase_index
 
     @property
     def instructions_retired(self) -> float:
@@ -129,7 +143,7 @@ class PhaseCursor:
 
     @property
     def instructions_remaining(self) -> float:
-        return max(self._spec.total_instructions - self._instructions_retired, 0.0)
+        return max(self._total_instructions - self._instructions_retired, 0.0)
 
     @property
     def current_phase(self) -> Optional[ExecutionPhase]:
@@ -153,7 +167,7 @@ class PhaseCursor:
         """True once every STARTUP phase has fully retired."""
         if self._spec.is_traffic_generator:
             return True
-        return self._instructions_retired >= self._spec.startup_instructions
+        return self._instructions_retired >= self._startup_instructions
 
     def phase_instructions_remaining(self) -> float:
         """Instructions left in the current phase (0 when finished)."""
@@ -161,6 +175,26 @@ class PhaseCursor:
         if phase is None:
             return 0.0
         return phase.instructions - self._instructions_into_phase
+
+    def span_snapshot(self) -> Tuple[float, float]:
+        """The two progress accumulators, for the engine's skip-ahead path.
+
+        Returns ``(instructions_into_phase, instructions_retired)``.  The
+        fast-path engine advances these as local floats (replicating the
+        exact sequence of additions :meth:`advance` would have performed)
+        and writes them back with :meth:`span_restore`.
+        """
+        return self._instructions_into_phase, self._instructions_retired
+
+    def span_restore(self, instructions_into_phase: float, instructions_retired: float) -> None:
+        """Write back accumulators advanced externally by the skip-ahead path.
+
+        The caller must guarantee the restored position is still strictly
+        inside the current phase — skip-ahead spans never cross phase
+        boundaries, so no boundary bookkeeping happens here.
+        """
+        self._instructions_into_phase = instructions_into_phase
+        self._instructions_retired = instructions_retired
 
     def advance(self, instructions: float) -> float:
         """Retire up to ``instructions`` within the *current* phase.

@@ -19,6 +19,29 @@ from repro.platform.oracle import SoloOracle
 from repro.workloads.registry import default_registry
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the on-disk cache at a per-session temp dir.
+
+    The unit suite must never validate against artifacts a previous code
+    version persisted in the user-level cache (a numerics change without a
+    ``CACHE_VERSION`` bump would otherwise pass locally against stale
+    data), nor pollute that cache with scaled-down test artifacts.
+    Individual tests still override ``REPRO_CACHE_DIR``/``REPRO_DISK_CACHE``
+    with ``monkeypatch`` where they test the cache itself.
+    """
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("repro-disk-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def machine():
     """The primary testbed machine description."""

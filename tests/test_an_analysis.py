@@ -1,6 +1,5 @@
 """Tests for the statistics helpers, error metrics and text reporting."""
 
-import math
 
 import pytest
 

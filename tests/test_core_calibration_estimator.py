@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.calibration import CalibrationScenario, calibrate_cached, clear_calibration_cache
-from repro.core.estimator import CongestionEstimator
 from repro.core.litmus_test import LitmusObservation
 from repro.workloads.runtimes import Language
 from repro.workloads.traffic import GeneratorKind

@@ -1,0 +1,156 @@
+"""The versioned on-disk cache: hits, misses, version invalidation, wiring."""
+
+import json
+
+import pytest
+
+from repro import diskcache
+from repro.core.calibration import (
+    CalibrationScenario,
+    calibrate_cached,
+    clear_calibration_cache,
+)
+from repro.hardware.topology import CASCADE_LAKE_5218
+from repro.platform.oracle import SoloOracle, SoloProfile
+from repro.workloads.registry import default_registry
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    return tmp_path
+
+
+class TestDiskCachePrimitives:
+    def test_store_then_load_round_trips(self, cache_dir):
+        payload = {"value": 1.5, "nested": {"xs": [1.0, 2.0]}}
+        path = diskcache.store("thing", "abc", payload)
+        assert path is not None and path.exists()
+        assert diskcache.load("thing", "abc") == payload
+
+    def test_load_misses_on_unknown_key(self, cache_dir):
+        assert diskcache.load("thing", "missing") is None
+
+    def test_version_mismatch_invalidates(self, cache_dir):
+        path = diskcache.store("thing", "abc", {"value": 1})
+        document = json.loads(path.read_text())
+        document["cache_version"] = diskcache.CACHE_VERSION - 1
+        path.write_text(json.dumps(document))
+        assert diskcache.load("thing", "abc") is None
+
+    def test_corrupt_entry_is_a_miss(self, cache_dir):
+        path = diskcache.store("thing", "abc", {"value": 1})
+        path.write_text("not json {")
+        assert diskcache.load("thing", "abc") is None
+
+    def test_disabled_cache_never_stores(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        assert diskcache.store("thing", "abc", {"value": 1}) is None
+        assert diskcache.load("thing", "abc") is None
+        assert not list(cache_dir.iterdir())
+
+    def test_fingerprint_is_stable_and_sensitive(self):
+        machine = CASCADE_LAKE_5218
+        assert diskcache.fingerprint(machine, 1) == diskcache.fingerprint(machine, 1)
+        assert diskcache.fingerprint(machine, 1) != diskcache.fingerprint(machine, 2)
+
+    def test_registry_fingerprint_changes_with_scaling(self):
+        registry = default_registry()
+        assert diskcache.registry_fingerprint(
+            registry.all()
+        ) != diskcache.registry_fingerprint(registry.scaled(0.5).all())
+
+
+class TestSoloProfileDiskCache:
+    def test_profile_round_trips_through_disk(self, cache_dir):
+        machine = CASCADE_LAKE_5218
+        spec = default_registry().scaled(0.1).get("auth-py")
+
+        first = SoloOracle(machine)
+        profile = first.profile(spec)
+        assert len(list(cache_dir.glob("solo-*.json"))) == 1
+
+        # A fresh oracle (empty in-memory cache) must load from disk and get
+        # bit-identical measurements.
+        second = SoloOracle(machine)
+        loaded = second.profile(spec)
+        assert loaded.execution == profile.execution
+        assert loaded.startup == profile.startup
+
+    def test_disk_cache_can_be_disabled_per_oracle(self, cache_dir):
+        machine = CASCADE_LAKE_5218
+        spec = default_registry().scaled(0.1).get("auth-py")
+        oracle = SoloOracle(machine, use_disk_cache=False)
+        oracle.profile(spec)
+        assert not list(cache_dir.glob("solo-*.json"))
+
+    def test_dict_round_trip(self, cache_dir):
+        machine = CASCADE_LAKE_5218
+        spec = default_registry().scaled(0.1).get("auth-py")
+        profile = SoloOracle(machine).profile(spec)
+        assert SoloProfile.from_dict(profile.to_dict()).execution == profile.execution
+
+
+class TestCalibrationDiskCache:
+    @pytest.fixture()
+    def small_args(self):
+        return dict(
+            registry=default_registry().scaled(0.1),
+            stress_levels=(2,),
+        )
+
+    def test_second_process_equivalent_hit(self, cache_dir, small_args):
+        machine = CASCADE_LAKE_5218
+        scenario = CalibrationScenario.dedicated(2)
+        clear_calibration_cache()
+        first = calibrate_cached(machine, scenario, **small_args)
+        assert len(list(cache_dir.glob("calibration-*.json"))) == 1
+
+        # Clearing the in-memory layer simulates a fresh worker process: the
+        # result must come back from disk with identical table contents.
+        clear_calibration_cache()
+        second = calibrate_cached(machine, scenario, **small_args)
+        assert second.congestion_table.rows() == first.congestion_table.rows()
+        assert second.performance_table.rows() == first.performance_table.rows()
+        assert second.stress_levels == first.stress_levels
+        # Still exactly one entry — the hit did not rewrite the file.
+        assert len(list(cache_dir.glob("calibration-*.json"))) == 1
+
+    def test_version_bump_recomputes(self, cache_dir, small_args, monkeypatch):
+        machine = CASCADE_LAKE_5218
+        scenario = CalibrationScenario.dedicated(2)
+        clear_calibration_cache()
+        calibrate_cached(machine, scenario, **small_args)
+        entry = next(cache_dir.glob("calibration-*.json"))
+        document = json.loads(entry.read_text())
+        document["cache_version"] = diskcache.CACHE_VERSION + 1
+        entry.write_text(json.dumps(document))
+
+        clear_calibration_cache()
+        calls = {"n": 0}
+        from repro.core import calibration as calibration_module
+
+        original = calibration_module.Calibrator.calibrate
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(calibration_module.Calibrator, "calibrate", counting)
+        calibrate_cached(machine, scenario, **small_args)
+        assert calls["n"] == 1  # stale version ignored, sweep recomputed
+
+    def test_different_registry_different_entry(self, cache_dir, small_args):
+        machine = CASCADE_LAKE_5218
+        scenario = CalibrationScenario.dedicated(2)
+        clear_calibration_cache()
+        calibrate_cached(machine, scenario, **small_args)
+        clear_calibration_cache()
+        calibrate_cached(
+            machine,
+            scenario,
+            registry=default_registry().scaled(0.2),
+            stress_levels=(2,),
+        )
+        assert len(list(cache_dir.glob("calibration-*.json"))) == 2

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.estimator import CongestionEstimator
 from repro.core.litmus_test import LitmusObservation
 from repro.core.poppa import PoppaPricing
 from repro.core.pricing import (

@@ -23,7 +23,6 @@ from repro.experiments import (
 from repro.experiments.harness import (
     price_evaluation_cached,
     run_characterization,
-    run_price_evaluation,
 )
 
 

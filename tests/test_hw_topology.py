@@ -6,7 +6,6 @@ from repro.hardware.topology import (
     CASCADE_LAKE_5218,
     ICE_LAKE_4314,
     CacheSpec,
-    MachineSpec,
     machine_by_name,
 )
 

@@ -7,7 +7,7 @@ from repro.hardware.topology import CASCADE_LAKE_5218
 from repro.platform.engine import EngineConfig, SimulationEngine
 from repro.platform.events import EventKind
 from repro.platform.invoker import InvocationState
-from repro.platform.metering import measure_invocation, measure_startup
+from repro.platform.metering import measure_invocation
 from repro.platform.scheduler import DedicatedCoreScheduler, LeastOccupancyScheduler
 from repro.workloads.registry import default_registry
 from repro.workloads.traffic import mb_gen

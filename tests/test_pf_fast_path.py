@@ -1,0 +1,126 @@
+"""Unit tests for the engine fast path's penalty-signature cache and stats."""
+
+import pytest
+
+from repro.hardware.contention import SharedResourcePenalty
+from repro.hardware.cpu import CPU
+from repro.hardware.topology import CASCADE_LAKE_5218
+from repro.platform.engine import (
+    EngineConfig,
+    PenaltySignatureCache,
+    SimulationEngine,
+)
+from repro.platform.scheduler import DedicatedCoreScheduler
+from repro.workloads.registry import default_registry
+
+
+def _penalty(workload_id: int, hit: float = 0.5) -> SharedResourcePenalty:
+    return SharedResourcePenalty(
+        workload_id=workload_id,
+        l3_hit_fraction=hit,
+        l3_hit_latency_cycles=40.0,
+        memory_latency_cycles=220.0,
+        ring_utilization=0.1,
+        bandwidth_utilization=0.2,
+        private_inflation=1.01,
+    )
+
+
+_SIG_A = (3, ((0, 1, 1), (1, 0, 1)))
+_SIG_B = (3, ((0, 2, 1), (1, 0, 1)))  # one invocation crossed a phase boundary
+
+
+class TestPenaltySignatureCache:
+    def test_miss_on_empty_cache(self):
+        cache = PenaltySignatureCache()
+        assert cache.lookup(_SIG_A) is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_hit_requires_convergence(self):
+        cache = PenaltySignatureCache()
+        penalties = {0: _penalty(0), 1: _penalty(1)}
+        cache.store(_SIG_A, penalties, converged=False)
+        assert cache.lookup(_SIG_A) is None
+        cache.store(_SIG_A, penalties, converged=True)
+        assert cache.lookup(_SIG_A) is penalties
+        assert cache.hits == 1
+
+    def test_signature_mismatch_misses(self):
+        cache = PenaltySignatureCache()
+        cache.store(_SIG_A, {0: _penalty(0)}, converged=True)
+        assert cache.lookup(_SIG_B) is None
+
+    def test_store_overwrites_previous_entry(self):
+        # The cache deliberately keeps one entry: an entry is only provably
+        # reusable when the immediately preceding epoch produced it.
+        cache = PenaltySignatureCache()
+        cache.store(_SIG_A, {0: _penalty(0)}, converged=True)
+        cache.store(_SIG_B, {0: _penalty(0, hit=0.4)}, converged=True)
+        assert cache.lookup(_SIG_A) is None
+        assert cache.lookup(_SIG_B) is not None
+
+    def test_invalidate(self):
+        cache = PenaltySignatureCache()
+        cache.store(_SIG_A, {0: _penalty(0)}, converged=True)
+        cache.invalidate()
+        assert not cache.converged
+        assert cache.lookup(_SIG_A) is None
+
+
+class TestEngineFastPathStats:
+    def _run(self, fast_path: bool):
+        engine = SimulationEngine(
+            CPU(CASCADE_LAKE_5218),
+            DedicatedCoreScheduler(),
+            config=EngineConfig(fast_path=fast_path),
+        )
+        # Full-length phases (hundreds of epochs each) so the steady
+        # stretches are long enough for skip-ahead to engage.
+        spec = default_registry().get("auth-py")
+        invocation = engine.submit(spec)
+        assert engine.run_until(lambda e: invocation.is_completed, max_seconds=30.0)
+        return engine, invocation
+
+    def test_solo_run_uses_spans(self):
+        engine, _ = self._run(fast_path=True)
+        stats = engine.fast_path_stats
+        assert stats.spans > 0
+        assert stats.span_epochs > 0
+        # Most epochs of a steady solo run should be skip-ahead epochs.
+        assert stats.span_epochs > stats.stepped_epochs
+
+    def test_disabled_fast_path_never_spans(self):
+        engine, _ = self._run(fast_path=False)
+        stats = engine.fast_path_stats
+        assert stats.spans == 0
+        assert stats.span_epochs == 0
+        assert stats.fixed_point_reuses == 0
+
+    def test_fast_and_slow_runs_agree_exactly(self):
+        fast_engine, fast_inv = self._run(fast_path=True)
+        slow_engine, slow_inv = self._run(fast_path=False)
+        assert fast_inv.finish_time == slow_inv.finish_time
+        assert fast_inv.counters.snapshot() == slow_inv.counters.snapshot()
+        assert (
+            fast_engine.cpu.global_counters.snapshot()
+            == slow_engine.cpu.global_counters.snapshot()
+        )
+
+    def test_fast_path_is_faster_in_epoch_work(self):
+        engine, _ = self._run(fast_path=True)
+        stats = engine.fast_path_stats
+        # The fixed point must have been evaluated far fewer times than the
+        # number of simulated epochs.
+        assert stats.fixed_point_evaluations < stats.total_epochs / 2
+
+
+class TestEngineConfigFlag:
+    def test_fast_path_default_on(self):
+        assert EngineConfig().fast_path is True
+
+    def test_validation_unchanged(self):
+        with pytest.raises(ValueError):
+            EngineConfig(epoch_seconds=0.0)
+        with pytest.raises(ValueError):
+            EngineConfig(fixed_point_iterations=0)

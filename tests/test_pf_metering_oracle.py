@@ -3,7 +3,6 @@
 import pytest
 
 from repro.hardware.cpu import CPU
-from repro.hardware.pmu import CounterSnapshot
 from repro.hardware.topology import CASCADE_LAKE_5218, ICE_LAKE_4314
 from repro.platform.engine import SimulationEngine
 from repro.platform.events import Event, EventKind, EventLog
