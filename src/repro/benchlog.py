@@ -33,11 +33,47 @@ distinguishable from warm ones:
 
 from __future__ import annotations
 
+import contextlib
 import datetime
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro.diskcache import atomic_write_text
+
+try:  # POSIX only; on other platforms appends fall back to best effort.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
+
+@contextlib.contextmanager
+def _append_lock(path: Path) -> Iterator[None]:
+    """Serialize read-modify-write cycles on the trajectory file.
+
+    The atomic replace in :func:`append_run` keeps readers safe from torn
+    files, but two concurrent appenders could still load the same document
+    and silently drop one record; an advisory ``flock`` on a sidecar lock
+    file makes the whole cycle exclusive where the platform supports it.
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "w") as lock_file:
+        try:
+            fcntl.flock(lock_file, fcntl.LOCK_EX)
+        except OSError:
+            yield
+            return
+        try:
+            yield
+        finally:
+            try:
+                fcntl.flock(lock_file, fcntl.LOCK_UN)
+            except OSError:
+                pass
 
 FORMAT_VERSION = 1
 
@@ -75,7 +111,6 @@ def append_run(
     extra: Optional[Mapping[str, Any]] = None,
 ) -> Path:
     """Append one sweep record to the trajectory file and return its path."""
-    document = _load_document(path)
     record: Dict[str, Any] = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
@@ -88,7 +123,12 @@ def append_run(
         record["jobs"] = jobs
     if extra:
         record.update(extra)
-    document["runs"].append(record)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    # Exclusive lock around the read-modify-write so concurrent appenders
+    # cannot drop each other's records; atomic replace so readers never see
+    # a torn file.
+    with _append_lock(path):
+        document = _load_document(path)
+        document["runs"].append(record)
+        atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path

@@ -7,7 +7,10 @@ Usage examples::
     python -m repro run fig16 --output results/fig16.txt
     python -m repro run --figures all --jobs 4      # full parallel sweep
     python -m repro run --figures all --check       # staleness check vs results/
+    python -m repro run --figures fig02 --profile   # cProfile top-20 per figure
     python -m repro registry                 # dump the Table-1 workload registry
+    python -m repro sweep --machines 4 --colocation 10   # vectorized fleet sweep
+    python -m repro sweep --compare          # vector vs scalar fast-path speedup
 
 Single-figure runs print the regenerated rows; sweep runs (``--figures``)
 write every figure to the results directory, append per-figure wall-clock to
@@ -73,6 +76,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
     def progress(run: FigureRun) -> None:
         print(f"  {run.name}: {run.seconds:.1f}s", flush=True)
+        if run.profile_text:
+            print(f"--- cProfile top 20 [{run.name}] ---")
+            print(run.profile_text, flush=True)
 
     report = run_figures(
         names,
@@ -81,6 +87,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         check=args.check,
         bench_path=Path(args.bench_json) if args.bench_json else None,
         progress=progress,
+        profile=args.profile,
     )
     total_cpu = sum(run.seconds for run in report.runs)
     print(
@@ -119,6 +126,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 ("--jobs", args.jobs != 1),
                 ("--results-dir", args.results_dir != "results"),
                 ("--bench-json", args.bench_json is not None),
+                ("--profile", args.profile),
             )
             if value
         ]
@@ -141,6 +149,93 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         return 2
     return _run_sweep(args)
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro import benchlog
+    from repro.platform.batch import FleetSweep, scenario_grid
+
+    try:
+        machine_counts = [int(part) for part in args.machines.split(",") if part.strip()]
+        colocations = [int(part) for part in args.colocation.split(",") if part.strip()]
+    except ValueError:
+        print("--machines and --colocation take comma-separated integers", file=sys.stderr)
+        return 2
+    mixes = [part.strip().replace("+", ",") for part in args.mixes.split(",") if part.strip()]
+    if not (mixes and machine_counts and colocations):
+        print("empty sweep grid", file=sys.stderr)
+        return 2
+    try:
+        scenarios = scenario_grid(
+            mixes,
+            machine_counts,
+            colocations,
+            cores_per_machine=args.cores,
+            seed=args.seed,
+        )
+        sweep = FleetSweep(
+            scenarios,
+            horizon_seconds=args.horizon,
+            epoch_seconds=args.epoch_seconds,
+            registry_scale=args.registry_scale,
+        )
+        sweep.validate()
+        fleet_size = sweep.fleet_size
+    except (ValueError, KeyError) as error:
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        return 2
+    print(
+        f"fleet sweep: {len(scenarios)} scenario(s), "
+        f"{fleet_size} concurrent invocations, "
+        f"{args.horizon:g}s horizon",
+        flush=True,
+    )
+
+    figures = {}
+    extra = {
+        "fleet_size": fleet_size,
+        "horizon_seconds": args.horizon,
+        "registry_scale": args.registry_scale,
+        "scenarios": [scenario.name for scenario in scenarios],
+    }
+    if args.compare:
+        vector, scalar, speedup = sweep.compare()
+        print(vector.render())
+        print(scalar.render())
+        print(
+            f"vector {vector.wall_seconds:.2f}s vs scalar fast-path "
+            f"{scalar.wall_seconds:.2f}s -> {speedup:.1f}x speedup"
+        )
+        figures["fleet-sweep-vector"] = vector.wall_seconds
+        figures["fleet-sweep-scalar"] = scalar.wall_seconds
+        extra.update(
+            backend="compare",
+            speedup=round(speedup, 2),
+            completed=vector.completed,
+            scalar_completed=scalar.completed,
+        )
+    else:
+        result = sweep.run(args.backend)
+        print(result.render())
+        print(
+            f"{result.completed} invocations completed in "
+            f"{result.wall_seconds:.2f}s wall [{result.backend}]"
+        )
+        figures[f"fleet-sweep-{result.backend}"] = result.wall_seconds
+        extra.update(backend=result.backend, completed=result.completed)
+
+    if not args.no_bench:
+        bench_path = (
+            Path(args.bench_json)
+            if args.bench_json
+            else benchlog.default_path(Path("results"))
+        )
+        written = benchlog.append_run(
+            figures, source="fleet-sweep", path=bench_path, extra=extra
+        )
+        print(f"[trajectory appended to {written}]")
+    return 0
 
 
 def _command_registry(_: argparse.Namespace) -> int:
@@ -216,7 +311,81 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the BENCH_engine.json trajectory path",
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sweep mode: run each figure under cProfile and print the "
+        "top-20 cumulative entries",
+    )
     run_parser.set_defaults(handler=_command_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="simulate a fleet-scale scenario grid on the vectorized backend",
+    )
+    sweep_parser.add_argument(
+        "--mixes",
+        default="all",
+        help="comma-separated traffic mixes: all, memory-intensive, or "
+        "explicit function lists joined with '+' (default: all)",
+    )
+    sweep_parser.add_argument(
+        "--machines",
+        default="1",
+        help="comma-separated machine counts per scenario (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--colocation",
+        default="1",
+        help="comma-separated functions-per-thread levels (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="cores hosting functions per machine (default: all cores)",
+    )
+    sweep_parser.add_argument(
+        "--horizon",
+        type=float,
+        default=2.0,
+        help="simulated seconds per scenario (default: 2.0)",
+    )
+    sweep_parser.add_argument(
+        "--epoch-seconds",
+        type=float,
+        default=1e-3,
+        help="epoch length in simulated seconds (default: 1e-3)",
+    )
+    sweep_parser.add_argument(
+        "--registry-scale",
+        type=float,
+        default=0.1,
+        help="body-length scale applied to every function (default: 0.1)",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=2024)
+    sweep_parser.add_argument(
+        "--backend",
+        choices=("vector", "scalar"),
+        default="vector",
+        help="simulation backend (default: vector)",
+    )
+    sweep_parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run both backends and report the vector speedup",
+    )
+    sweep_parser.add_argument(
+        "--bench-json",
+        default=None,
+        help="override the BENCH_engine.json trajectory path",
+    )
+    sweep_parser.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="skip appending a fleet-sweep record to BENCH_engine.json",
+    )
+    sweep_parser.set_defaults(handler=_command_sweep)
 
     registry_parser = subparsers.add_parser("registry", help="print the workload registry")
     registry_parser.set_defaults(handler=_command_registry)

@@ -91,6 +91,7 @@ def measure_switching_curve(
     repetitions: int = 1,
     engine_config: Optional[EngineConfig] = None,
     contention_parameters: Optional[ContentionParameters] = None,
+    backend: str = "scalar",
 ) -> List[SwitchingCurvePoint]:
     """Measure ``T_private`` inflation versus co-located function count.
 
@@ -98,7 +99,9 @@ def measure_switching_curve(
     hardware thread of an otherwise idle machine and measures how much the
     probe functions' per-invocation ``T_private`` grows relative to running
     alone — the experiment behind Figure 14 and behind Method 1's
-    calibration factor.
+    calibration factor.  ``backend="vector"`` runs the co-located stints on
+    the NumPy fleet engine instead of the scalar reference (the solo oracle
+    always stays scalar).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
@@ -125,6 +128,7 @@ def measure_switching_curve(
             engine_config,
             contention_parameters,
             oracle,
+            backend,
         )
         points.append(
             SwitchingCurvePoint(
@@ -143,11 +147,31 @@ def _measure_inflation_at_count(
     engine_config: EngineConfig,
     contention_parameters: Optional[ContentionParameters],
     oracle: SoloOracle,
+    backend: str = "scalar",
 ) -> List[float]:
-    cpu = CPU(machine, smt_enabled=False, contention_parameters=contention_parameters)
-    engine = SimulationEngine(
-        cpu, LeastOccupancyScheduler(max_per_thread=max(count, 1)), config=engine_config
-    )
+    if backend == "vector":
+        from repro.platform.batch import VectorEngine, VectorEngineConfig
+
+        engine = VectorEngine(
+            machine,
+            machines=1,
+            config=VectorEngineConfig(
+                epoch_seconds=engine_config.epoch_seconds,
+                fixed_point_iterations=engine_config.fixed_point_iterations,
+            ),
+            contention_parameters=contention_parameters,
+        )
+    elif backend == "scalar":
+        cpu = CPU(
+            machine, smt_enabled=False, contention_parameters=contention_parameters
+        )
+        engine = SimulationEngine(
+            cpu,
+            LeastOccupancyScheduler(max_per_thread=max(count, 1)),
+            config=engine_config,
+        )
+    else:
+        raise ValueError(f"unknown backend {backend!r}; expected 'scalar' or 'vector'")
     submitters: List[RepeatingSubmitter] = []
     # Fill the single shared thread with `count` co-located functions by
     # cycling through the measurement specs.

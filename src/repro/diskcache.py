@@ -95,6 +95,36 @@ def _entry_path(kind: str, key: str) -> Path:
     return cache_dir() / f"{kind}-{key}.json"
 
 
+def atomic_write_text(path: Path, text: str, *, prefix: str = ".atomic-") -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Concurrent writers can race on the same path safely: readers only ever
+    observe a complete old or complete new file, never a torn one.  Used by
+    the cache entries here and by the ``BENCH_engine.json`` trajectory,
+    both of which parallel figure workers write concurrently.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=prefix,
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, path)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def load(kind: str, key: str) -> Optional[Dict[str, Any]]:
     """Return a stored payload, or ``None`` on miss/corruption/version skew."""
     if not cache_enabled():
@@ -115,27 +145,13 @@ def store(kind: str, key: str, payload: Dict[str, Any]) -> Optional[Path]:
     if not cache_enabled():
         return None
     path = _entry_path(kind, key)
-    path.parent.mkdir(parents=True, exist_ok=True)
     document = {"cache_version": CACHE_VERSION, "kind": kind, "payload": payload}
-    handle = tempfile.NamedTemporaryFile(
-        "w",
-        encoding="utf-8",
-        dir=path.parent,
-        prefix=f".{kind}-",
-        suffix=".tmp",
-        delete=False,
-    )
     try:
-        with handle:
-            json.dump(document, handle, sort_keys=True)
-        os.replace(handle.name, path)
+        return atomic_write_text(
+            path, json.dumps(document, sort_keys=True), prefix=f".{kind}-"
+        )
     except OSError:
-        try:
-            os.unlink(handle.name)
-        except OSError:
-            pass
         return None
-    return path
 
 
 def registry_fingerprint(specs: Iterable[Any]) -> str:

@@ -35,7 +35,7 @@ from repro.workloads.registry import FunctionRegistry
 from repro.workloads.traffic import GeneratorKind
 
 
-def _evaluation_quotes(config: ExperimentConfig):
+def _evaluation_quotes(config: ExperimentConfig, backend: str = "scalar"):
     """Run the evaluation environment once and return (spec, quotes, solo)."""
     registry = registry_for(config)
     oracle = oracle_for(config)
@@ -44,7 +44,7 @@ def _evaluation_quotes(config: ExperimentConfig):
     ideal = IdealPricing()
 
     test_specs = registry.test_functions()
-    engine, group = build_environment(config, test_specs)
+    engine, group = build_environment(config, test_specs, backend=backend)
     finished = engine.run_until(lambda eng: group.done, max_seconds=config.max_seconds)
     if not finished:
         raise RuntimeError(f"ablation run {config.name!r} did not finish in time")
@@ -59,10 +59,12 @@ def _evaluation_quotes(config: ExperimentConfig):
     return per_spec
 
 
-def run_rate_split_ablation(config: Optional[ExperimentConfig] = None) -> FigureResult:
+def run_rate_split_ablation(
+    config: Optional[ExperimentConfig] = None, backend: str = "scalar"
+) -> FigureResult:
     """Split private/shared rates (Eq. 2) vs one blended rate on total time."""
     config = config or one_per_core()
-    per_spec = _evaluation_quotes(config)
+    per_spec = _evaluation_quotes(config, backend=backend)
 
     rows: List[Mapping[str, object]] = []
     split_errors: List[float] = []
@@ -101,10 +103,12 @@ def run_rate_split_ablation(config: Optional[ExperimentConfig] = None) -> Figure
     )
 
 
-def run_interpolation_ablation(config: Optional[ExperimentConfig] = None) -> FigureResult:
+def run_interpolation_ablation(
+    config: Optional[ExperimentConfig] = None, backend: str = "scalar"
+) -> FigureResult:
     """Logarithmic vs linear blending of the CT-Gen / MB-Gen predictions."""
     config = config or one_per_core()
-    per_spec = _evaluation_quotes(config)
+    per_spec = _evaluation_quotes(config, backend=backend)
 
     rows: List[Mapping[str, object]] = []
     log_errors: List[float] = []
@@ -177,6 +181,7 @@ def run_reference_count_ablation(
     config: Optional[ExperimentConfig] = None,
     reference_counts: Sequence[int] = (3, 7, 13),
     stress_levels: Sequence[int] = (6, 14),
+    backend: str = "scalar",
 ) -> FigureResult:
     """Accuracy of the average discount vs the number of reference functions."""
     config = config or one_per_core()
@@ -187,7 +192,7 @@ def run_reference_count_ablation(
     # One shared evaluation environment: the reference count only changes the
     # provider-side tables, not the tenant workloads.
     test_specs = registry.test_functions()
-    engine, group = build_environment(config, test_specs)
+    engine, group = build_environment(config, test_specs, backend=backend)
     finished = engine.run_until(lambda eng: group.done, max_seconds=config.max_seconds)
     if not finished:
         raise RuntimeError("reference-count ablation run did not finish in time")

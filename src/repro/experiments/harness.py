@@ -222,22 +222,48 @@ def _churn_pool(config: ExperimentConfig, registry: FunctionRegistry) -> List[Fu
 def build_environment(
     config: ExperimentConfig,
     test_specs: Sequence[FunctionSpec],
-) -> Tuple[SimulationEngine, SubmitterGroup]:
-    """Create the evaluation engine with test submitters and churn attached."""
+    backend: str = "scalar",
+) -> Tuple["SimulationEngine | VectorEngine", SubmitterGroup]:  # noqa: F821
+    """Create the evaluation engine with test submitters and churn attached.
+
+    ``backend`` selects the simulation engine: ``"scalar"`` is the bit-exact
+    reference (:class:`SimulationEngine`); ``"vector"`` runs the same
+    environment on the NumPy fleet backend
+    (:class:`repro.platform.batch.VectorEngine`) — the drivers and churn are
+    reused unchanged, and results agree with the scalar engine to float
+    rounding noise (the property tests assert rtol=1e-9).
+    """
     registry = registry_for(config)
-    cpu = CPU(
-        config.machine,
-        smt_enabled=config.smt_enabled,
-        frequency_policy=config.frequency_policy,
-    )
-    engine = SimulationEngine(
-        cpu,
-        LeastOccupancyScheduler(
-            allowed_threads=config.eval_thread_ids(),
-            max_per_thread=config.functions_per_thread,
-        ),
-        config=EngineConfig(epoch_seconds=config.epoch_seconds),
-    )
+    if backend == "vector":
+        if config.smt_enabled:
+            raise ValueError(
+                "the vector backend does not support SMT sharing domains; "
+                "use backend='scalar'"
+            )
+        from repro.platform.batch import VectorEngine, VectorEngineConfig
+
+        engine = VectorEngine(
+            config.machine,
+            machines=1,
+            config=VectorEngineConfig(epoch_seconds=config.epoch_seconds),
+            frequency_policy=config.frequency_policy,
+        )
+    elif backend == "scalar":
+        cpu = CPU(
+            config.machine,
+            smt_enabled=config.smt_enabled,
+            frequency_policy=config.frequency_policy,
+        )
+        engine = SimulationEngine(
+            cpu,
+            LeastOccupancyScheduler(
+                allowed_threads=config.eval_thread_ids(),
+                max_per_thread=config.functions_per_thread,
+            ),
+            config=EngineConfig(epoch_seconds=config.epoch_seconds),
+        )
+    else:
+        raise ValueError(f"unknown backend {backend!r}; expected 'scalar' or 'vector'")
 
     thread_ids = list(config.eval_thread_ids())
     submitters: List[RepeatingSubmitter] = []
@@ -262,12 +288,14 @@ def build_environment(
 # --------------------------------------------------------------------- #
 # Characterization runs (Figures 2-4)
 # --------------------------------------------------------------------- #
-def run_characterization(config: ExperimentConfig) -> CharacterizationResult:
+def run_characterization(
+    config: ExperimentConfig, backend: str = "scalar"
+) -> CharacterizationResult:
     """Co-run every benchmark and measure its slowdown and time split."""
     registry = registry_for(config)
     oracle = oracle_for(config)
     specs = registry.all()
-    engine, group = build_environment(config, specs)
+    engine, group = build_environment(config, specs, backend=backend)
     finished = engine.run_until(lambda eng: group.done, max_seconds=config.max_seconds)
     if not finished:
         raise RuntimeError(
@@ -309,7 +337,9 @@ def run_characterization(config: ExperimentConfig) -> CharacterizationResult:
 # --------------------------------------------------------------------- #
 # Price evaluation runs (Figures 11-13, 15-21)
 # --------------------------------------------------------------------- #
-def run_price_evaluation(config: ExperimentConfig) -> PriceEvaluationResult:
+def run_price_evaluation(
+    config: ExperimentConfig, backend: str = "scalar"
+) -> PriceEvaluationResult:
     """Price the 14 test functions under a configuration's environment."""
     registry = registry_for(config)
     oracle = oracle_for(config)
@@ -318,7 +348,7 @@ def run_price_evaluation(config: ExperimentConfig) -> PriceEvaluationResult:
     ideal = IdealPricing()
 
     test_specs = registry.test_functions()
-    engine, group = build_environment(config, test_specs)
+    engine, group = build_environment(config, test_specs, backend=backend)
     finished = engine.run_until(lambda eng: group.done, max_seconds=config.max_seconds)
     if not finished:
         raise RuntimeError(
@@ -378,7 +408,9 @@ def _price_evaluation_from_dict(payload: Mapping[str, Any]) -> PriceEvaluationRe
     return PriceEvaluationResult(config_name=payload["config_name"], rows=rows)
 
 
-def price_evaluation_cached(config: ExperimentConfig) -> PriceEvaluationResult:
+def price_evaluation_cached(
+    config: ExperimentConfig, backend: str = "scalar"
+) -> PriceEvaluationResult:
     """Run (or reuse) the price evaluation for a configuration.
 
     Several figures present different views of the same run — e.g. Figures
@@ -387,18 +419,25 @@ def price_evaluation_cached(config: ExperimentConfig) -> PriceEvaluationResult:
     persisted through the versioned on-disk cache so parallel figure
     workers and repeated sweeps do not re-simulate the same environment.
     The on-disk key fingerprints the complete configuration (machine
-    topology included) plus the scaled registry contents.
+    topology included) plus the scaled registry contents; vector-backend
+    results are keyed separately so they can never leak into the bit-exact
+    scalar figures.
     """
     key = (
         f"{config.name}|{config.machine.name}|{config.registry_scale}"
         f"|{config.repetitions}|{config.total_functions}|{config.method.value}"
+        f"|{backend}"
     )
     if key in _PRICE_EVALUATION_CACHE:
         return _PRICE_EVALUATION_CACHE[key]
 
-    disk_key = diskcache.fingerprint(
-        config, diskcache.registry_fingerprint(registry_for(config).all())
-    )
+    fingerprint_parts = [
+        config,
+        diskcache.registry_fingerprint(registry_for(config).all()),
+    ]
+    if backend != "scalar":
+        fingerprint_parts.append(f"backend={backend}")
+    disk_key = diskcache.fingerprint(*fingerprint_parts)
     payload = diskcache.load("price-eval", disk_key)
     if payload is not None:
         try:
@@ -409,7 +448,7 @@ def price_evaluation_cached(config: ExperimentConfig) -> PriceEvaluationResult:
             _PRICE_EVALUATION_CACHE[key] = result
             return result
 
-    result = run_price_evaluation(config)
+    result = run_price_evaluation(config, backend=backend)
     _PRICE_EVALUATION_CACHE[key] = result
     diskcache.store("price-eval", disk_key, _price_evaluation_to_dict(result))
     return result

@@ -108,6 +108,7 @@ class FigureRun:
     seconds: float
     matched: Optional[bool] = None  # check mode only
     diff: Optional[str] = None
+    profile_text: Optional[str] = None  # --profile only
 
 
 @dataclass(frozen=True)
@@ -128,12 +129,32 @@ class SweepReport:
         return {run.name: run.seconds for run in self.runs}
 
 
-def _execute_job(name: str) -> FigureRun:
+def _execute_job(name: str, profile: bool = False) -> FigureRun:
     """Worker entry point: regenerate one figure and render it."""
     start = time.perf_counter()
-    result = resolve_runner(name)()
+    profile_text: Optional[str] = None
+    if profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = resolve_runner(name)()
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(20)
+        profile_text = stream.getvalue()
+    else:
+        result = resolve_runner(name)()
     rendered = result.render() + "\n"
-    return FigureRun(name=name, rendered=rendered, seconds=time.perf_counter() - start)
+    return FigureRun(
+        name=name,
+        rendered=rendered,
+        seconds=time.perf_counter() - start,
+        profile_text=profile_text,
+    )
 
 
 def _dispatch_order(names: Sequence[str]) -> List[str]:
@@ -149,13 +170,16 @@ def run_figures(
     bench_path: Optional[Path] = None,
     record_bench: bool = True,
     progress: Optional[Callable[[FigureRun], None]] = None,
+    profile: bool = False,
 ) -> SweepReport:
     """Regenerate ``names`` with ``jobs`` workers.
 
     Writes each figure to ``results_dir/<name>.txt`` — unless ``check`` is
     set, in which case the rendered text is compared against the committed
     file instead and mismatches carry a unified diff.  Per-figure timing is
-    appended to the ``BENCH_engine.json`` trajectory.
+    appended to the ``BENCH_engine.json`` trajectory.  With ``profile``
+    each figure runs under :mod:`cProfile` and its top-20
+    cumulative-time entries ride along on the returned runs.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -174,13 +198,13 @@ def run_figures(
     runs: List[FigureRun] = []
     if jobs == 1 or len(ordered) <= 1:
         for name in ordered:
-            run = _execute_job(name)
+            run = _execute_job(name, profile)
             runs.append(run)
             if progress is not None:
                 progress(run)
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            pending = {pool.submit(_execute_job, name) for name in ordered}
+            pending = {pool.submit(_execute_job, name, profile) for name in ordered}
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
@@ -211,7 +235,9 @@ def run_figures(
                     )
                 )
             checked.append(
-                FigureRun(run.name, run.rendered, run.seconds, matched, diff)
+                FigureRun(
+                    run.name, run.rendered, run.seconds, matched, diff, run.profile_text
+                )
             )
         else:
             results_dir.mkdir(parents=True, exist_ok=True)
@@ -230,6 +256,9 @@ def run_figures(
                 "wall_seconds": round(wall, 4),
                 "disk_cache_enabled": diskcache.cache_enabled(),
                 "disk_cache_entries_at_start": cache_entries_start,
+                # cProfile inflates per-figure seconds severalfold; the
+                # marker keeps profiled entries from reading as regressions.
+                **({"profiled": True} if profile else {}),
             },
         )
     return SweepReport(runs=checked, jobs=jobs, wall_seconds=wall, bench_path=written_bench)

@@ -227,9 +227,12 @@ class ContentionModel:
 
         # _water_fill on the active workloads.  Shares are computed once per
         # pass (the reference implementation recomputes the identical
-        # expression in its second loop, so reusing the value is exact).
+        # expression in its second loop, so reusing the value is exact), and
+        # each workload's capped need — ``min(working_set, capacity)`` of
+        # the same two floats everywhere — is computed once up front.
         remaining = {e[0]: e for e in active}
         allocations: dict[int, float] = {e[0]: 0.0 for e in active}
+        needs: dict[int, float] = {e[0]: min(e[2], capacity_mb) for e in active}
         remaining_capacity = capacity_mb
         for _ in range(len(active) + 1):
             if not remaining or remaining_capacity <= 1e-12:
@@ -242,8 +245,7 @@ class ContentionModel:
             for workload_id, entry in remaining.items():
                 share = remaining_capacity * entry[1] / total_rate
                 shares[workload_id] = share
-                need = min(entry[2], capacity_mb)
-                if share >= need - allocations[workload_id]:
+                if share >= needs[workload_id] - allocations[workload_id]:
                     capped.append(workload_id)
             if not capped:
                 for workload_id, share in shares.items():
@@ -251,14 +253,14 @@ class ContentionModel:
                 remaining_capacity = 0.0
                 break
             for workload_id in capped:
-                entry = remaining.pop(workload_id)
-                need = min(entry[2], capacity_mb)
+                del remaining[workload_id]
+                need = needs[workload_id]
                 grant = need - allocations[workload_id]
                 allocations[workload_id] = need
                 remaining_capacity -= grant
 
-        for workload_id, _, working_set_mb, solo_hit, _ in active:
-            need_mb = min(working_set_mb, capacity_mb)
+        for workload_id, _, _, solo_hit, _ in active:
+            need_mb = needs[workload_id]
             if need_mb <= 0:
                 hit_fractions[workload_id] = solo_hit
                 continue
@@ -276,10 +278,12 @@ class ContentionModel:
         ring_load = RingLoad(accesses_per_second=total_l3_lookups)
         memory_load = MemoryLoad(bytes_per_second=total_dram_bytes)
 
-        l3_hit_latency = self._ring.effective_latency_cycles(ring_load)
-        memory_latency = self._memory.effective_latency_cycles(memory_load)
-        ring_utilization = self._ring.utilization(ring_load)
-        bandwidth_utilization = self._memory.utilization(memory_load)
+        ring = self._ring
+        memory = self._memory
+        l3_hit_latency = ring.effective_latency_cycles(ring_load)
+        memory_latency = memory.effective_latency_cycles(memory_load)
+        ring_utilization = ring.utilization(ring_load)
+        bandwidth_utilization = memory.utilization(memory_load)
         private_inflation = 1.0 + self._parameters.private_pressure_sensitivity * max(
             ring_utilization, bandwidth_utilization
         )

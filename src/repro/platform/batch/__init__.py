@@ -1,0 +1,32 @@
+"""Batched (vectorized) fleet-simulation backend.
+
+:class:`VectorEngine` advances an entire fleet of machines and invocations
+per epoch with NumPy array operations; :class:`FleetSweep` simulates a grid
+of scenarios (traffic mixes × machine counts × co-location levels) in one
+batched run.  The scalar :mod:`repro.platform.engine` remains the bit-exact
+reference backend for the committed figures.
+"""
+
+from repro.platform.batch.vector_engine import (
+    VectorEngine,
+    VectorEngineConfig,
+    VectorEngineStats,
+)
+from repro.platform.batch.sweep import (
+    FleetScenario,
+    FleetSweep,
+    FleetSweepResult,
+    ScenarioResult,
+    scenario_grid,
+)
+
+__all__ = [
+    "VectorEngine",
+    "VectorEngineConfig",
+    "VectorEngineStats",
+    "FleetScenario",
+    "FleetSweep",
+    "FleetSweepResult",
+    "ScenarioResult",
+    "scenario_grid",
+]

@@ -1,0 +1,401 @@
+"""Fleet-scale scenario sweeps.
+
+A :class:`FleetScenario` describes one co-running environment — a traffic
+mix, a number of machines, and a co-location level (functions per hardware
+thread).  :class:`FleetSweep` simulates a whole grid of scenarios at once:
+with the vector backend every machine of every scenario lives in a single
+:class:`repro.platform.batch.VectorEngine`, so the entire grid advances in
+one batched NumPy pass per epoch.  The scalar backend runs the identical
+scenarios machine-by-machine on the bit-exact
+:class:`repro.platform.engine.SimulationEngine` (fast path enabled) and is
+what the vector backend's throughput claims are measured against.
+
+Both backends keep the congestion level steady the way the paper does:
+whenever an invocation finishes, a new one drawn from the scenario's mix is
+launched on the same hardware thread (deterministically, from a per-machine
+seed), so the fleet size stays constant for the whole horizon.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.hardware.cpu import CPU
+from repro.hardware.topology import CASCADE_LAKE_5218, MachineSpec
+from repro.platform.batch.vector_engine import VectorEngine, VectorEngineConfig
+from repro.platform.engine import EngineConfig, SimulationEngine
+from repro.platform.scheduler import LeastOccupancyScheduler
+from repro.workloads.function import FunctionSpec
+from repro.workloads.registry import FunctionRegistry, default_registry
+from repro.workloads.synthetic import WorkloadMixer
+
+_BACKENDS = ("vector", "scalar")
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One cell of the sweep grid."""
+
+    name: str
+    #: Traffic mix: ``all``, ``memory-intensive`` or a comma-separated list
+    #: of function abbreviations.
+    mix: str = "all"
+    machines: int = 1
+    #: Functions co-located per hardware thread.
+    colocation: int = 1
+    #: Cores hosting functions on each machine (default: every core).
+    cores_per_machine: Optional[int] = None
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise ValueError("machines must be >= 1")
+        if self.colocation < 1:
+            raise ValueError("colocation must be >= 1")
+        if self.cores_per_machine is not None and self.cores_per_machine < 1:
+            raise ValueError("cores_per_machine must be >= 1")
+
+    def cores(self, machine: MachineSpec) -> int:
+        cores = self.cores_per_machine or machine.cores
+        if cores > machine.cores:
+            raise ValueError(
+                f"scenario {self.name!r} wants {cores} cores but "
+                f"{machine.name} has {machine.cores}"
+            )
+        return cores
+
+    def fleet_size(self, machine: MachineSpec) -> int:
+        """Concurrent invocations this scenario keeps alive."""
+        return self.machines * self.cores(machine) * self.colocation
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Aggregate outcome of one scenario over the sweep horizon."""
+
+    name: str
+    backend: str
+    fleet_size: int
+    machines: int
+    colocation: int
+    submitted: int
+    completed: int
+    simulated_seconds: float
+    instructions: float
+    cycles: float
+    stall_cycles: float
+    l3_misses: float
+
+    @property
+    def throughput_per_machine_second(self) -> float:
+        """Completed invocations per machine per simulated second."""
+        denominator = self.machines * self.simulated_seconds
+        return self.completed / denominator if denominator > 0 else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def shared_fraction(self) -> float:
+        return self.stall_cycles / self.cycles if self.cycles > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class FleetSweepResult:
+    """Outcome of a full sweep on one backend."""
+
+    backend: str
+    scenarios: Tuple[ScenarioResult, ...]
+    wall_seconds: float
+    horizon_seconds: float
+
+    @property
+    def fleet_size(self) -> int:
+        return sum(s.fleet_size for s in self.scenarios)
+
+    @property
+    def completed(self) -> int:
+        return sum(s.completed for s in self.scenarios)
+
+    def render(self) -> str:
+        rows = [
+            {
+                "scenario": s.name,
+                "machines": s.machines,
+                "colocation": s.colocation,
+                "fleet": s.fleet_size,
+                "completed": s.completed,
+                "throughput": s.throughput_per_machine_second,
+                "ipc": s.ipc,
+                "shared_frac": s.shared_fraction,
+            }
+            for s in self.scenarios
+        ]
+        table = format_table(
+            rows,
+            columns=(
+                "scenario",
+                "machines",
+                "colocation",
+                "fleet",
+                "completed",
+                "throughput",
+                "ipc",
+                "shared_frac",
+            ),
+            title=(
+                f"Fleet sweep [{self.backend}]: {self.fleet_size} concurrent "
+                f"invocations, {self.horizon_seconds:g}s horizon"
+            ),
+        )
+        return table
+
+
+def scenario_grid(
+    mixes: Sequence[str],
+    machine_counts: Sequence[int],
+    colocations: Sequence[int],
+    *,
+    cores_per_machine: Optional[int] = None,
+    seed: int = 2024,
+) -> List[FleetScenario]:
+    """The full cross product of mixes × machine counts × co-location."""
+    scenarios: List[FleetScenario] = []
+    for mix in mixes:
+        for machines in machine_counts:
+            for colocation in colocations:
+                scenarios.append(
+                    FleetScenario(
+                        name=f"{mix}-m{machines}-c{colocation}",
+                        mix=mix,
+                        machines=machines,
+                        colocation=colocation,
+                        cores_per_machine=cores_per_machine,
+                        seed=seed,
+                    )
+                )
+    return scenarios
+
+
+class FleetSweep:
+    """Simulates a grid of fleet scenarios on either backend."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[FleetScenario],
+        *,
+        machine: MachineSpec = CASCADE_LAKE_5218,
+        horizon_seconds: float = 2.0,
+        epoch_seconds: float = 1e-3,
+        registry: Optional[FunctionRegistry] = None,
+        registry_scale: float = 0.1,
+    ) -> None:
+        if not scenarios:
+            raise ValueError("at least one scenario is required")
+        if horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        if registry_scale <= 0:
+            raise ValueError("registry_scale must be positive")
+        self._scenarios = list(scenarios)
+        self._machine = machine
+        self._horizon = horizon_seconds
+        self._epoch_seconds = epoch_seconds
+        base = registry or default_registry()
+        self._registry = base if registry_scale == 1.0 else base.scaled(registry_scale)
+
+    @property
+    def scenarios(self) -> List[FleetScenario]:
+        return list(self._scenarios)
+
+    @property
+    def fleet_size(self) -> int:
+        return sum(s.fleet_size(self._machine) for s in self._scenarios)
+
+    def _mix_pool(self, scenario: FleetScenario) -> List[FunctionSpec]:
+        mix = scenario.mix.strip()
+        if mix == "all":
+            return self._registry.all()
+        if mix == "memory-intensive":
+            return self._registry.memory_intensive()
+        pool = [self._registry.get(name.strip()) for name in mix.split(",") if name.strip()]
+        if not pool:
+            raise ValueError(f"scenario {scenario.name!r} has an empty mix")
+        return pool
+
+    def validate(self) -> None:
+        """Resolve every scenario's mix and core count, raising on bad input.
+
+        Callers that want clean user-facing errors (the CLI) run this before
+        :meth:`run`, so failures during the simulation itself surface as
+        real tracebacks rather than being mistaken for input errors.
+        """
+        for scenario in self._scenarios:
+            self._mix_pool(scenario)
+            scenario.cores(self._machine)
+
+    def run(self, backend: str = "vector") -> FleetSweepResult:
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        start = time.perf_counter()
+        if backend == "vector":
+            results = self._run_vector()
+        else:
+            results = self._run_scalar()
+        wall = time.perf_counter() - start
+        return FleetSweepResult(
+            backend=backend,
+            scenarios=tuple(results),
+            wall_seconds=wall,
+            horizon_seconds=self._horizon,
+        )
+
+    def compare(self) -> Tuple[FleetSweepResult, FleetSweepResult, float]:
+        """Run both backends; returns (vector, scalar, speedup)."""
+        vector = self.run("vector")
+        scalar = self.run("scalar")
+        speedup = scalar.wall_seconds / max(vector.wall_seconds, 1e-9)
+        return vector, scalar, speedup
+
+    # ------------------------------------------------------------------ #
+    # Vector backend: one engine, every machine of every scenario
+    # ------------------------------------------------------------------ #
+    def _run_vector(self) -> List[ScenarioResult]:
+        spec = self._machine
+        total_machines = sum(s.machines for s in self._scenarios)
+        engine = VectorEngine(
+            spec,
+            machines=total_machines,
+            config=VectorEngineConfig(epoch_seconds=self._epoch_seconds),
+            materialize_handles=False,
+            initial_capacity=max(4 * self.fleet_size, 1024),
+        )
+        mixers: Dict[int, WorkloadMixer] = {}
+        scenario_of_machine: Dict[int, int] = {}
+        submitted = [0] * len(self._scenarios)
+        completed = [0] * len(self._scenarios)
+
+        offset = 0
+        for s, scenario in enumerate(self._scenarios):
+            pool = self._mix_pool(scenario)
+            cores = scenario.cores(spec)
+            for machine in range(offset, offset + scenario.machines):
+                scenario_of_machine[machine] = s
+                mixers[machine] = WorkloadMixer(
+                    pool, seed=scenario.seed + (machine - offset)
+                )
+                for thread in range(cores):
+                    for _ in range(scenario.colocation):
+                        engine.submit(
+                            mixers[machine].next(), machine=machine, thread_id=thread
+                        )
+                        submitted[s] += 1
+            offset += scenario.machines
+
+        def on_finish(index: object, eng: VectorEngine) -> None:
+            machine = int(eng.machine_of[index])
+            thread = int(eng.gthread[index]) - machine * eng.threads_per_machine
+            s = scenario_of_machine[machine]
+            completed[s] += 1
+            eng.submit(mixers[machine].next(), machine=machine, thread_id=thread)
+            submitted[s] += 1
+
+        engine.add_finish_listener(on_finish)
+        engine.run_for(self._horizon)
+
+        results: List[ScenarioResult] = []
+        offset = 0
+        for s, scenario in enumerate(self._scenarios):
+            machines = range(offset, offset + scenario.machines)
+            instructions = cycles = stall = l3 = 0.0
+            for machine in machines:
+                counters = engine.machine_counters(machine)
+                instructions += counters.instructions
+                cycles += counters.cycles
+                stall += counters.stall_cycles_l2_miss
+                l3 += counters.l3_misses
+            results.append(
+                ScenarioResult(
+                    name=scenario.name,
+                    backend="vector",
+                    fleet_size=scenario.fleet_size(spec),
+                    machines=scenario.machines,
+                    colocation=scenario.colocation,
+                    submitted=submitted[s],
+                    completed=completed[s],
+                    simulated_seconds=self._horizon,
+                    instructions=instructions,
+                    cycles=cycles,
+                    stall_cycles=stall,
+                    l3_misses=l3,
+                )
+            )
+            offset += scenario.machines
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Scalar backend: the fast-path engine, machine by machine
+    # ------------------------------------------------------------------ #
+    def _run_scalar(self) -> List[ScenarioResult]:
+        spec = self._machine
+        results: List[ScenarioResult] = []
+        for scenario in self._scenarios:
+            pool = self._mix_pool(scenario)
+            cores = scenario.cores(spec)
+            submitted = 0
+            completed = 0
+            instructions = cycles = stall = l3 = 0.0
+            for machine in range(scenario.machines):
+                mixer = WorkloadMixer(pool, seed=scenario.seed + machine)
+                engine = SimulationEngine(
+                    CPU(spec),
+                    LeastOccupancyScheduler(),
+                    # No event log: the vector side keeps none, and a heavy
+                    # churn horizon would otherwise grow it unboundedly and
+                    # bias the recorded speedup in the vector's favour.
+                    config=EngineConfig(
+                        epoch_seconds=self._epoch_seconds, record_events=False
+                    ),
+                )
+                counts = {"submitted": 0, "completed": 0}
+                for thread in range(cores):
+                    for _ in range(scenario.colocation):
+                        engine.submit(mixer.next(), thread_id=thread)
+                        counts["submitted"] += 1
+
+                def on_finish(invocation, eng, mixer=mixer, counts=counts):
+                    counts["completed"] += 1
+                    eng.submit(mixer.next(), thread_id=invocation.thread_id)
+                    counts["submitted"] += 1
+
+                engine.add_finish_listener(on_finish)
+                engine.run_for(self._horizon)
+                submitted += counts["submitted"]
+                completed += counts["completed"]
+                counters = engine.cpu.global_counters
+                instructions += counters.instructions
+                cycles += counters.cycles
+                stall += counters.stall_cycles_l2_miss
+                l3 += counters.l3_misses
+            results.append(
+                ScenarioResult(
+                    name=scenario.name,
+                    backend="scalar",
+                    fleet_size=scenario.fleet_size(spec),
+                    machines=scenario.machines,
+                    colocation=scenario.colocation,
+                    submitted=submitted,
+                    completed=completed,
+                    simulated_seconds=self._horizon,
+                    instructions=instructions,
+                    cycles=cycles,
+                    stall_cycles=stall,
+                    l3_misses=l3,
+                )
+            )
+        return results

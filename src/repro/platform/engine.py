@@ -835,6 +835,7 @@ class SimulationEngine:
         evaluate_tuples = self._cpu.contention.evaluate_tuples
         for _ in range(self._config.fixed_point_iterations):
             demands = []
+            lookup = penalties.get
             for (
                 workload_id,
                 profile,
@@ -848,7 +849,7 @@ class SimulationEngine:
                 working_set_mb,
                 solo_hit,
             ) in rows:
-                penalty = penalties.get(workload_id)
+                penalty = lookup(workload_id)
                 if penalty is None:
                     stall_per_inst = profile.solo_stall_cycles_per_instruction(
                         l3_latency, memory_latency

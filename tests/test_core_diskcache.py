@@ -22,6 +22,55 @@ def cache_dir(tmp_path, monkeypatch):
     return tmp_path
 
 
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "sub" / "file.json"
+        diskcache.atomic_write_text(target, "one")
+        assert target.read_text(encoding="utf-8") == "one"
+        diskcache.atomic_write_text(target, "two")
+        assert target.read_text(encoding="utf-8") == "two"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "file.json"
+        diskcache.atomic_write_text(target, "payload")
+        assert [entry.name for entry in tmp_path.iterdir()] == ["file.json"]
+
+    def test_benchlog_append_uses_atomic_write(self, tmp_path):
+        from repro import benchlog
+
+        path = tmp_path / "BENCH_engine.json"
+        benchlog.append_run({"figA": 1.0}, source="test", path=path)
+        benchlog.append_run({"figB": 2.0}, source="test", path=path)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert len(document["runs"]) == 2
+        leftovers = {entry.name for entry in tmp_path.iterdir()}
+        assert leftovers <= {"BENCH_engine.json", "BENCH_engine.json.lock"}
+
+    def test_benchlog_concurrent_appends_lose_nothing(self, tmp_path):
+        import threading
+
+        from repro import benchlog
+
+        if benchlog.fcntl is None:
+            pytest.skip("appender lock needs fcntl; best-effort on this platform")
+
+        path = tmp_path / "BENCH_engine.json"
+        threads = [
+            threading.Thread(
+                target=benchlog.append_run,
+                args=({f"fig{i}": float(i)},),
+                kwargs={"source": "test", "path": path},
+            )
+            for i in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert len(document["runs"]) == 12
+
+
 class TestDiskCachePrimitives:
     def test_store_then_load_round_trips(self, cache_dir):
         payload = {"value": 1.5, "nested": {"xs": [1.0, 2.0]}}

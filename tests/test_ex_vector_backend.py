@@ -1,0 +1,106 @@
+"""Harness-level vector-backend adapters: figure regression vs scalar.
+
+The committed ``results/*.txt`` figures stay on the bit-exact scalar
+engine; these tests pin the vector backend to the same numbers — the
+fig02/fig14 headline metrics must match the scalar run within rtol=1e-9
+(in practice they are bit-identical).
+"""
+
+import pytest
+
+from repro.core.sharing import measure_switching_curve
+from repro.experiments.config import one_per_core, sharing_160, smt_160, PricingMethod
+from repro.experiments.harness import (
+    build_environment,
+    run_characterization,
+    run_price_evaluation,
+)
+from repro.hardware.topology import CASCADE_LAKE_5218
+from repro.platform.batch import VectorEngine
+from repro.platform.engine import EngineConfig
+
+RTOL = 1e-9
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self, registry):
+        with pytest.raises(ValueError):
+            build_environment(one_per_core(), registry.test_functions(), backend="quantum")
+
+    def test_smt_rejected_on_vector(self, registry):
+        with pytest.raises(ValueError, match="SMT"):
+            build_environment(smt_160(), registry.test_functions(), backend="vector")
+
+    def test_vector_environment_built(self, registry):
+        config = one_per_core(
+            name="vec-env", total_functions=4, eval_physical_cores=4, repetitions=1
+        )
+        engine, group = build_environment(
+            config, registry.test_functions()[:4], backend="vector"
+        )
+        assert isinstance(engine, VectorEngine)
+        assert not group.done
+
+
+@pytest.mark.slow
+class TestFigureRegression:
+    def test_fig02_headline_matches_scalar(self):
+        """Figure 2 (characterization) headline metrics at rtol=1e-9."""
+        config = one_per_core()  # the exact fig02 configuration
+        scalar = run_characterization(config)
+        vector = run_characterization(config, backend="vector")
+        assert vector.gmean_total_slowdown == pytest.approx(
+            scalar.gmean_total_slowdown, rel=RTOL
+        )
+        assert vector.max_total_slowdown == pytest.approx(
+            scalar.max_total_slowdown, rel=RTOL
+        )
+        for s_fn, v_fn in zip(scalar.functions, vector.functions):
+            assert s_fn.function == v_fn.function
+            assert v_fn.total_slowdown == pytest.approx(s_fn.total_slowdown, rel=RTOL)
+            assert v_fn.private_slowdown == pytest.approx(
+                s_fn.private_slowdown, rel=RTOL
+            )
+            assert v_fn.shared_slowdown == pytest.approx(s_fn.shared_slowdown, rel=RTOL)
+
+    def test_fig14_switching_curve_matches_scalar(self):
+        """Figure 14 (T_private inflation) points at rtol=1e-9."""
+        counts = (1, 2, 6, 10)
+        scalar = measure_switching_curve(
+            CASCADE_LAKE_5218, counts, engine_config=EngineConfig()
+        )
+        vector = measure_switching_curve(
+            CASCADE_LAKE_5218, counts, engine_config=EngineConfig(), backend="vector"
+        )
+        assert len(scalar) == len(vector)
+        for s_point, v_point in zip(scalar, vector):
+            assert s_point.functions_per_thread == v_point.functions_per_thread
+            assert v_point.t_private_inflation == pytest.approx(
+                s_point.t_private_inflation, rel=RTOL
+            )
+
+    def test_price_evaluation_matches_scalar_with_temporal_sharing(self):
+        """A shared (Method 2) price evaluation agrees across backends."""
+        config = sharing_160(
+            PricingMethod.METHOD2,
+            name="vec-share-quick",
+            total_functions=20,
+            eval_physical_cores=4,
+            functions_per_thread=5,
+            repetitions=1,
+            registry_scale=0.2,
+            calibration_levels=(4, 12),
+        )
+        scalar = run_price_evaluation(config)
+        vector = run_price_evaluation(config, backend="vector")
+        assert vector.average_litmus_discount == pytest.approx(
+            scalar.average_litmus_discount, rel=RTOL
+        )
+        for s_row, v_row in zip(scalar.rows, vector.rows):
+            assert s_row.function == v_row.function
+            assert v_row.litmus_normalized_price == pytest.approx(
+                s_row.litmus_normalized_price, rel=RTOL
+            )
+            assert v_row.actual_shared_slowdown == pytest.approx(
+                s_row.actual_shared_slowdown, rel=RTOL
+            )
