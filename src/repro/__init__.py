@@ -24,6 +24,12 @@ The package is organised in layers, bottom-up:
     adaptations for temporal sharing, plus ideal / commercial / POPPA
     baselines.
 
+``repro.scenarios``
+    Declarative scenario specs: TOML/JSON files (schema-validated, with
+    named presets shipped in the package) that expand into scenario grids
+    and compile into fleet sweeps for the batched backend, optionally
+    sharded across worker processes.
+
 ``repro.analysis`` and ``repro.experiments``
     Statistics helpers, error metrics and one module per paper figure/table
     that regenerates the corresponding result.

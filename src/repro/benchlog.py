@@ -28,6 +28,13 @@ distinguishable from warm ones:
       ]
     }
 
+Fleet sweeps (``source: "fleet-sweep"``, appended by ``python -m repro
+sweep``) reuse the same record shape: ``figures`` maps the backend (e.g.
+``fleet-sweep-vector``) to aggregate wall-clock, and the extras carry the
+grid (``scenarios``, ``fleet_size``), the spec name for spec-driven runs,
+and — for sharded runs — ``shards`` plus the per-shard ``shard_seconds``
+breakdown, so the trajectory records how sharding moves sweep cost.
+
 ``REPRO_BENCH_JSON`` overrides the destination path.
 """
 

@@ -11,6 +11,8 @@ Usage examples::
     python -m repro registry                 # dump the Table-1 workload registry
     python -m repro sweep --machines 4 --colocation 10   # vectorized fleet sweep
     python -m repro sweep --compare          # vector vs scalar fast-path speedup
+    python -m repro sweep --spec smoke --shards 2        # declarative spec, sharded
+    python -m repro sweep --spec studies/big.toml --shards 8
 
 Single-figure runs print the regenerated rows; sweep runs (``--figures``)
 write every figure to the results directory, append per-figure wall-clock to
@@ -151,61 +153,170 @@ def _command_run(args: argparse.Namespace) -> int:
     return _run_sweep(args)
 
 
+def _parse_positive_int_list(value: str, flag: str) -> list:
+    """Parse a comma-separated positive-integer flag, naming bad tokens."""
+    items = []
+    for token in value.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            number = int(token)
+        except ValueError:
+            raise ValueError(
+                f"invalid {flag} value {token!r}: expected a positive integer "
+                f"(comma-separated, e.g. '1,2,4')"
+            ) from None
+        if number < 1:
+            raise ValueError(f"invalid {flag} value {token!r}: must be >= 1")
+        items.append(number)
+    if not items:
+        raise ValueError(f"{flag} must list at least one positive integer")
+    return items
+
+
+#: Grid/engine flags a --spec file supersedes.  They are declared with
+#: ``default=None`` so "explicitly passed" is simply "not None" — the
+#: effective defaults below apply only to flag-driven sweeps.
+_SPEC_CONFLICT_FLAGS = (
+    ("--mixes", "mixes"),
+    ("--machines", "machines"),
+    ("--colocation", "colocation"),
+    ("--cores", "cores"),
+    ("--horizon", "horizon"),
+    ("--epoch-seconds", "epoch_seconds"),
+    ("--registry-scale", "registry_scale"),
+    ("--seed", "seed"),
+)
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     from repro import benchlog
-    from repro.platform.batch import FleetSweep, scenario_grid
+    from repro.hardware.topology import CASCADE_LAKE_5218
+    from repro.platform.batch import FleetSweep, run_sharded, scenario_grid
+    from repro.scenarios import SpecError, compile_spec, load_spec_or_preset
 
-    try:
-        machine_counts = [int(part) for part in args.machines.split(",") if part.strip()]
-        colocations = [int(part) for part in args.colocation.split(",") if part.strip()]
-    except ValueError:
-        print("--machines and --colocation take comma-separated integers", file=sys.stderr)
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
         return 2
-    mixes = [part.strip().replace("+", ",") for part in args.mixes.split(",") if part.strip()]
-    if not (mixes and machine_counts and colocations):
-        print("empty sweep grid", file=sys.stderr)
-        return 2
-    try:
-        scenarios = scenario_grid(
-            mixes,
-            machine_counts,
-            colocations,
-            cores_per_machine=args.cores,
-            seed=args.seed,
+
+    spec = None
+    if args.spec is not None:
+        conflicts = [
+            flag
+            for flag, attribute in _SPEC_CONFLICT_FLAGS
+            if getattr(args, attribute) is not None
+        ]
+        if conflicts:
+            print(
+                f"{', '.join(conflicts)} conflict with --spec: the spec file "
+                f"defines the grid and engine settings (see docs/scenarios.md)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            spec = load_spec_or_preset(args.spec)
+            compiled = compile_spec(spec)
+        except SpecError as error:
+            print(error, file=sys.stderr)
+            return 2
+        scenarios = list(compiled.scenarios)
+        machine = compiled.machine
+        horizon = spec.horizon_seconds
+        epoch_seconds = spec.epoch_seconds
+        registry_scale = spec.registry_scale
+        backend = args.backend or spec.backend
+        shards = args.shards if args.shards is not None else spec.shards
+        fleet_size = compiled.fleet_size
+    else:
+        machine = CASCADE_LAKE_5218
+        horizon = args.horizon if args.horizon is not None else 2.0
+        epoch_seconds = args.epoch_seconds if args.epoch_seconds is not None else 1e-3
+        registry_scale = (
+            args.registry_scale if args.registry_scale is not None else 0.1
         )
-        sweep = FleetSweep(
-            scenarios,
-            horizon_seconds=args.horizon,
-            epoch_seconds=args.epoch_seconds,
-            registry_scale=args.registry_scale,
-        )
-        sweep.validate()
-        fleet_size = sweep.fleet_size
-    except (ValueError, KeyError) as error:
-        message = error.args[0] if error.args else error
-        print(message, file=sys.stderr)
-        return 2
+        seed = args.seed if args.seed is not None else 2024
+        backend = args.backend or "vector"
+        shards = args.shards if args.shards is not None else 1
+        try:
+            machine_counts = _parse_positive_int_list(
+                args.machines or "1", "--machines"
+            )
+            colocations = _parse_positive_int_list(
+                args.colocation or "1", "--colocation"
+            )
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        mixes = [part.strip() for part in (args.mixes or "all").split(",") if part.strip()]
+        if not mixes:
+            print(
+                "--mixes is empty; valid mixes: all, memory-intensive, or "
+                "function abbreviations joined with '+' (see 'python -m repro "
+                "registry' for the function list)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            scenarios = scenario_grid(
+                mixes,
+                machine_counts,
+                colocations,
+                cores_per_machine=args.cores,
+                seed=seed,
+            )
+            sweep = FleetSweep(
+                scenarios,
+                machine=machine,
+                horizon_seconds=horizon,
+                epoch_seconds=epoch_seconds,
+                registry_scale=registry_scale,
+            )
+            sweep.validate()
+            fleet_size = sweep.fleet_size
+        except (ValueError, KeyError) as error:
+            message = error.args[0] if error.args else error
+            print(message, file=sys.stderr)
+            return 2
+
     print(
         f"fleet sweep: {len(scenarios)} scenario(s), "
         f"{fleet_size} concurrent invocations, "
-        f"{args.horizon:g}s horizon",
+        f"{horizon:g}s horizon, {shards} shard(s)"
+        + (f" [spec: {spec.name}]" if spec is not None else ""),
         flush=True,
     )
+
+    def execute(run_backend: str):
+        return run_sharded(
+            scenarios,
+            shards=shards,
+            backend=run_backend,
+            machine=machine,
+            horizon_seconds=horizon,
+            epoch_seconds=epoch_seconds,
+            registry_scale=registry_scale,
+        )
 
     figures = {}
     extra = {
         "fleet_size": fleet_size,
-        "horizon_seconds": args.horizon,
-        "registry_scale": args.registry_scale,
+        "horizon_seconds": horizon,
+        "registry_scale": registry_scale,
         "scenarios": [scenario.name for scenario in scenarios],
     }
+    if spec is not None:
+        extra["spec"] = spec.name
     if args.compare:
-        vector, scalar, speedup = sweep.compare()
+        vector = execute("vector")
+        scalar = execute("scalar")
+        speedup = scalar.wall_seconds / max(vector.wall_seconds, 1e-9)
         print(vector.render())
         print(scalar.render())
         print(
             f"vector {vector.wall_seconds:.2f}s vs scalar fast-path "
-            f"{scalar.wall_seconds:.2f}s -> {speedup:.1f}x speedup"
+            f"{scalar.wall_seconds:.2f}s -> {speedup:.1f}x speedup "
+            f"[{vector.shards} shard(s)]"
         )
         figures["fleet-sweep-vector"] = vector.wall_seconds
         figures["fleet-sweep-scalar"] = scalar.wall_seconds
@@ -214,16 +325,27 @@ def _command_sweep(args: argparse.Namespace) -> int:
             speedup=round(speedup, 2),
             completed=vector.completed,
             scalar_completed=scalar.completed,
+            shards=vector.shards,
+            shard_seconds=[round(t.wall_seconds, 4) for t in vector.shard_timings],
+            scalar_shard_seconds=[
+                round(t.wall_seconds, 4) for t in scalar.shard_timings
+            ],
         )
     else:
-        result = sweep.run(args.backend)
+        result = execute(backend)
         print(result.render())
         print(
             f"{result.completed} invocations completed in "
-            f"{result.wall_seconds:.2f}s wall [{result.backend}]"
+            f"{result.wall_seconds:.2f}s wall "
+            f"[{result.result.backend}, {result.shards} shard(s)]"
         )
-        figures[f"fleet-sweep-{result.backend}"] = result.wall_seconds
-        extra.update(backend=result.backend, completed=result.completed)
+        figures[f"fleet-sweep-{result.result.backend}"] = result.wall_seconds
+        extra.update(
+            backend=result.result.backend,
+            completed=result.completed,
+            shards=result.shards,
+            shard_seconds=[round(t.wall_seconds, 4) for t in result.shard_timings],
+        )
 
     if not args.no_bench:
         bench_path = (
@@ -268,7 +390,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser("list", help="list the available figures/tables")
+    list_parser = subparsers.add_parser(
+        "list",
+        help="list the available figures/tables",
+        epilog="Docs: docs/architecture.md (system layout), "
+        "docs/scenarios.md (scenario specs and presets).",
+    )
     list_parser.set_defaults(handler=_command_list)
 
     run_parser = subparsers.add_parser(
@@ -322,21 +449,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser = subparsers.add_parser(
         "sweep",
         help="simulate a fleet-scale scenario grid on the vectorized backend",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Scenario specs: pass --spec FILE.toml (or a shipped preset name:\n"
+            "smoke, steady-state, memory-pressure, colocation-ladder) instead\n"
+            "of grid flags; add --shards N to fan the grid out over worker\n"
+            "processes with results identical to --shards 1.\n"
+            "Docs: docs/scenarios.md (spec format + cookbook),\n"
+            "docs/backends.md (vector vs scalar engines)."
+        ),
+    )
+    sweep_parser.add_argument(
+        "--spec",
+        default=None,
+        help="declarative scenario spec: a .toml/.json path or a preset name "
+        "(replaces the grid flags below; see docs/scenarios.md)",
+    )
+    sweep_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the grid across N worker processes (default: 1, or "
+        "the spec's [sweep].shards); results are shard-count independent",
     )
     sweep_parser.add_argument(
         "--mixes",
-        default="all",
+        default=None,
         help="comma-separated traffic mixes: all, memory-intensive, or "
         "explicit function lists joined with '+' (default: all)",
     )
     sweep_parser.add_argument(
         "--machines",
-        default="1",
+        default=None,
         help="comma-separated machine counts per scenario (default: 1)",
     )
     sweep_parser.add_argument(
         "--colocation",
-        default="1",
+        default=None,
         help="comma-separated functions-per-thread levels (default: 1)",
     )
     sweep_parser.add_argument(
@@ -348,27 +497,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--horizon",
         type=float,
-        default=2.0,
+        default=None,
         help="simulated seconds per scenario (default: 2.0)",
     )
     sweep_parser.add_argument(
         "--epoch-seconds",
         type=float,
-        default=1e-3,
+        default=None,
         help="epoch length in simulated seconds (default: 1e-3)",
     )
     sweep_parser.add_argument(
         "--registry-scale",
         type=float,
-        default=0.1,
+        default=None,
         help="body-length scale applied to every function (default: 0.1)",
     )
-    sweep_parser.add_argument("--seed", type=int, default=2024)
+    sweep_parser.add_argument(
+        "--seed", type=int, default=None, help="base churn seed (default: 2024)"
+    )
     sweep_parser.add_argument(
         "--backend",
         choices=("vector", "scalar"),
-        default="vector",
-        help="simulation backend (default: vector)",
+        default=None,
+        help="simulation backend (default: vector, or the spec's "
+        "[sweep].backend)",
     )
     sweep_parser.add_argument(
         "--compare",

@@ -13,11 +13,22 @@ what the vector backend's throughput claims are measured against.
 Both backends keep the congestion level steady the way the paper does:
 whenever an invocation finishes, a new one drawn from the scenario's mix is
 launched on the same hardware thread (deterministically, from a per-machine
-seed), so the fleet size stays constant for the whole horizon.
+seed), so the fleet size stays constant for the whole horizon.  The draw
+policy defaults to a uniform random pick but any
+:class:`repro.workloads.synthetic.TrafficModel` (weighted, round-robin, or
+an explicit replayed trace) can be attached per scenario — this is how
+declarative scenario specs (:mod:`repro.scenarios`) describe traffic.
+
+Because every machine's churn stream is seeded by ``scenario.seed`` plus the
+machine's index *within its scenario*, a scenario's results do not depend on
+which other scenarios share the engine — the invariant that lets
+:mod:`repro.platform.batch.shard` split a grid across worker processes and
+merge results identical to the single-process run.
 """
 
 from __future__ import annotations
 
+import re
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -30,9 +41,44 @@ from repro.platform.engine import EngineConfig, SimulationEngine
 from repro.platform.scheduler import LeastOccupancyScheduler
 from repro.workloads.function import FunctionSpec
 from repro.workloads.registry import FunctionRegistry, default_registry
-from repro.workloads.synthetic import WorkloadMixer
+from repro.workloads.synthetic import Mixer, TrafficModel
 
 _BACKENDS = ("vector", "scalar")
+
+#: Mix strings with a built-in meaning (anything else must name functions).
+NAMED_MIXES = ("all", "memory-intensive")
+
+
+def resolve_mix(mix: str, registry: FunctionRegistry) -> List[FunctionSpec]:
+    """Resolve a mix string to a function pool, with token-level errors.
+
+    Accepted forms: ``all`` (every Table-1 function), ``memory-intensive``
+    (the eight high-L2-miss functions), or function abbreviations joined
+    with ``+`` or ``,`` (e.g. ``bfs-py+float-py``).  Unknown tokens raise a
+    :class:`ValueError` that names the offending token and lists the valid
+    choices, so CLI users see what to fix rather than a bare traceback.
+    """
+    stripped = mix.strip()
+    if stripped == "all":
+        return registry.all()
+    if stripped == "memory-intensive":
+        return registry.memory_intensive()
+    tokens = [token.strip() for token in re.split(r"[+,]", stripped) if token.strip()]
+    if not tokens:
+        raise ValueError(
+            f"empty mix {mix!r}; valid mixes: {', '.join(NAMED_MIXES)}, or "
+            f"function abbreviations joined with '+'"
+        )
+    pool: List[FunctionSpec] = []
+    for token in tokens:
+        if token not in registry:
+            known = ", ".join(sorted(registry.abbreviations()))
+            raise ValueError(
+                f"unknown function {token!r} in mix {mix!r}; valid mixes: "
+                f"{', '.join(NAMED_MIXES)}, or function abbreviations: {known}"
+            )
+        pool.append(registry.get(token))
+    return pool
 
 
 @dataclass(frozen=True)
@@ -49,6 +95,10 @@ class FleetScenario:
     #: Cores hosting functions on each machine (default: every core).
     cores_per_machine: Optional[int] = None
     seed: int = 2024
+    #: Optional declarative churn-traffic description.  ``None`` means the
+    #: default: uniform random draws from the pool the ``mix`` string names.
+    #: A model with explicit ``functions`` overrides the ``mix`` pool.
+    traffic: Optional[TrafficModel] = None
 
     def __post_init__(self) -> None:
         if self.machines < 1:
@@ -182,7 +232,22 @@ def scenario_grid(
 
 
 class FleetSweep:
-    """Simulates a grid of fleet scenarios on either backend."""
+    """Simulates a grid of fleet scenarios on either backend.
+
+    Construction is cheap and side-effect free; :meth:`run` does the work.
+
+    Parameters: ``scenarios`` is the compiled grid (see
+    :func:`scenario_grid` or :func:`repro.scenarios.compile_spec`);
+    ``machine`` the socket-level hardware description every machine of the
+    fleet shares; ``horizon_seconds`` the simulated duration per scenario;
+    ``epoch_seconds`` the engine time step; ``registry_scale`` shrinks every
+    function body by that factor (the usual way to trade fidelity for
+    wall-clock in large grids).
+
+    To run a grid across worker processes instead of one engine, hand the
+    same scenarios to :func:`repro.platform.batch.run_sharded` — results
+    merge back identical to a single-process :meth:`run`.
+    """
 
     def __init__(
         self,
@@ -218,15 +283,27 @@ class FleetSweep:
         return sum(s.fleet_size(self._machine) for s in self._scenarios)
 
     def _mix_pool(self, scenario: FleetScenario) -> List[FunctionSpec]:
-        mix = scenario.mix.strip()
-        if mix == "all":
-            return self._registry.all()
-        if mix == "memory-intensive":
-            return self._registry.memory_intensive()
-        pool = [self._registry.get(name.strip()) for name in mix.split(",") if name.strip()]
-        if not pool:
-            raise ValueError(f"scenario {scenario.name!r} has an empty mix")
-        return pool
+        """The scenario's resolved function pool (explicit traffic pool wins)."""
+        try:
+            if scenario.traffic is not None and scenario.traffic.functions:
+                return resolve_mix("+".join(scenario.traffic.functions), self._registry)
+            return resolve_mix(scenario.mix, self._registry)
+        except ValueError as error:
+            raise ValueError(f"scenario {scenario.name!r}: {error}") from None
+
+    def _make_mixer(self, scenario: FleetScenario, machine_index: int) -> Mixer:
+        """One churn mixer per machine, seeded by the machine's index.
+
+        The seed depends only on the scenario's own seed and the machine's
+        index *within the scenario*, never on grid position or shard, so
+        results are independent of how scenarios are batched or partitioned.
+        """
+        traffic = scenario.traffic or TrafficModel()
+        pool = self._mix_pool(scenario)
+        try:
+            return traffic.build_mixer(pool, seed=scenario.seed + machine_index)
+        except ValueError as error:
+            raise ValueError(f"scenario {scenario.name!r}: {error}") from None
 
     def validate(self) -> None:
         """Resolve every scenario's mix and core count, raising on bad input.
@@ -236,10 +313,11 @@ class FleetSweep:
         real tracebacks rather than being mistaken for input errors.
         """
         for scenario in self._scenarios:
-            self._mix_pool(scenario)
+            self._make_mixer(scenario, 0)
             scenario.cores(self._machine)
 
     def run(self, backend: str = "vector") -> FleetSweepResult:
+        """Simulate every scenario on ``backend`` (``vector`` or ``scalar``)."""
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
         start = time.perf_counter()
@@ -275,20 +353,17 @@ class FleetSweep:
             materialize_handles=False,
             initial_capacity=max(4 * self.fleet_size, 1024),
         )
-        mixers: Dict[int, WorkloadMixer] = {}
+        mixers: Dict[int, Mixer] = {}
         scenario_of_machine: Dict[int, int] = {}
         submitted = [0] * len(self._scenarios)
         completed = [0] * len(self._scenarios)
 
         offset = 0
         for s, scenario in enumerate(self._scenarios):
-            pool = self._mix_pool(scenario)
             cores = scenario.cores(spec)
             for machine in range(offset, offset + scenario.machines):
                 scenario_of_machine[machine] = s
-                mixers[machine] = WorkloadMixer(
-                    pool, seed=scenario.seed + (machine - offset)
-                )
+                mixers[machine] = self._make_mixer(scenario, machine - offset)
                 for thread in range(cores):
                     for _ in range(scenario.colocation):
                         engine.submit(
@@ -345,13 +420,12 @@ class FleetSweep:
         spec = self._machine
         results: List[ScenarioResult] = []
         for scenario in self._scenarios:
-            pool = self._mix_pool(scenario)
             cores = scenario.cores(spec)
             submitted = 0
             completed = 0
             instructions = cycles = stall = l3 = 0.0
             for machine in range(scenario.machines):
-                mixer = WorkloadMixer(pool, seed=scenario.seed + machine)
+                mixer = self._make_mixer(scenario, machine)
                 engine = SimulationEngine(
                     CPU(spec),
                     LeastOccupancyScheduler(),

@@ -227,7 +227,22 @@ class _VectorCPUFacade:
 
 
 class VectorEngine:
-    """Batched epoch engine over a fleet of independent machines."""
+    """Batched epoch engine over a fleet of independent machines.
+
+    Construction parameters: ``machine`` describes the hardware every
+    fleet machine shares; ``machines`` is the fleet size (each machine is
+    an independent sharing domain); ``threads_per_machine`` defaults to
+    the machine's core count (SMT domains are rejected — scalar-only);
+    ``materialize_handles`` chooses between full
+    :class:`~repro.platform.invoker.Invocation` handles (scalar-adapter
+    compatible) and bare integer indices (cheaper at fleet scale, columns
+    recycled after completion); ``initial_capacity`` pre-sizes the arrays.
+
+    Drive it like the scalar engine: :meth:`submit` invocations, attach
+    :meth:`add_finish_listener` callbacks, advance with :meth:`run_for` /
+    :meth:`run_until`, read results via :meth:`machine_counters`,
+    :attr:`completed`, and :attr:`stats`.
+    """
 
     def __init__(
         self,
@@ -309,26 +324,32 @@ class VectorEngine:
     # ------------------------------------------------------------------ #
     @property
     def machine(self) -> MachineSpec:
+        """The hardware description every machine of the fleet shares."""
         return self._machine
 
     @property
     def machines(self) -> int:
+        """Number of independent sharing domains in the fleet."""
         return self._machines
 
     @property
     def threads_per_machine(self) -> int:
+        """Hardware threads hosting functions on each machine."""
         return self._threads_per_machine
 
     @property
     def config(self) -> VectorEngineConfig:
+        """Time-stepping parameters (epoch length, fixed-point iterations)."""
         return self._config
 
     @property
     def time_seconds(self) -> float:
+        """Simulated time elapsed since construction."""
         return self._time
 
     @property
     def stats(self) -> VectorEngineStats:
+        """Observability counters (epochs, submissions, completions, …)."""
         return self._stats
 
     @property
@@ -348,6 +369,7 @@ class VectorEngine:
 
     @property
     def active_count(self) -> int:
+        """Invocations currently running anywhere in the fleet."""
         return int(np.count_nonzero(self.active[: self._count]))
 
     @property
@@ -374,9 +396,15 @@ class VectorEngine:
         )
 
     def add_finish_listener(self, listener: VectorFinishListener) -> None:
+        """Register a completion callback (handle-or-index, engine).
+
+        Listeners may :meth:`submit` replacements from inside the callback
+        — the churn pattern fleet sweeps rely on.
+        """
         self._finish_listeners.append(listener)
 
     def thread_occupancy(self, machine: int, thread_id: int) -> int:
+        """Invocations co-located on one machine-local hardware thread."""
         return len(self._queues[machine * self._threads_per_machine + thread_id])
 
     # ------------------------------------------------------------------ #
@@ -504,6 +532,7 @@ class VectorEngine:
     # Time stepping
     # ------------------------------------------------------------------ #
     def run_for(self, seconds: float) -> None:
+        """Advance the whole fleet by ``seconds`` of simulated time."""
         if seconds < 0:
             raise ValueError("seconds must be >= 0")
         target = self._time + seconds
@@ -513,6 +542,7 @@ class VectorEngine:
     def run_until(
         self, predicate: Callable[["VectorEngine"], bool], max_seconds: float
     ) -> bool:
+        """Step epochs until ``predicate(engine)`` holds or time runs out."""
         if max_seconds <= 0:
             raise ValueError("max_seconds must be positive")
         deadline = self._time + max_seconds

@@ -1,0 +1,28 @@
+"""Docs-tree health: the pages exist and intra-repo links resolve.
+
+The CI ``docs`` job runs the same link checker plus the markdown
+doctests; this test keeps broken links visible in local tier-1 runs too.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_pages_exist():
+    for page in ("architecture.md", "backends.md", "scenarios.md"):
+        assert (ROOT / "docs" / page).is_file(), f"missing docs/{page}"
+
+
+def test_markdown_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs_links.py")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout

@@ -1,0 +1,187 @@
+"""Sharded sweep executor: partitioning and shard-merge equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.batch import (
+    FleetScenario,
+    FleetSweep,
+    partition_scenarios,
+    run_sharded,
+    scenario_grid,
+)
+from repro.scenarios import compile_spec, load_preset
+
+TINY = dict(horizon_seconds=0.2, epoch_seconds=1e-3, registry_scale=0.05)
+
+
+def tiny_grid():
+    return scenario_grid(
+        ["all", "memory-intensive"], [1, 2], [1], cores_per_machine=3, seed=5
+    )
+
+
+class TestPartitioning:
+    def test_partition_is_exact_cover(self):
+        grid = tiny_grid()
+        parts = partition_scenarios(grid, 3)
+        flat = sorted(index for part in parts for index in part)
+        assert flat == list(range(len(grid)))
+        assert all(part == sorted(part) for part in parts)
+
+    def test_partition_is_deterministic(self):
+        grid = tiny_grid()
+        assert partition_scenarios(grid, 3) == partition_scenarios(grid, 3)
+
+    def test_more_shards_than_scenarios_clamps(self):
+        grid = tiny_grid()
+        parts = partition_scenarios(grid, 99)
+        assert len(parts) == len(grid)
+        assert all(len(part) == 1 for part in parts)
+
+    def test_partition_balances_fleet_sizes(self):
+        scenarios = [
+            FleetScenario(name=f"s{i}", machines=m, cores_per_machine=2)
+            for i, m in enumerate((8, 1, 1, 1, 1, 4))
+        ]
+        parts = partition_scenarios(scenarios, 2)
+        # The one 8-machine scenario must not share a shard with the
+        # 4-machine one while singletons exist.
+        loads = [sum(scenarios[i].machines for i in part) for part in parts]
+        assert max(loads) - min(loads) <= 4
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            partition_scenarios(tiny_grid(), 0)
+        with pytest.raises(ValueError):
+            partition_scenarios([], 2)
+
+
+@pytest.mark.slow
+class TestShardMergeEquivalence:
+    def assert_merged_identical(self, single, sharded):
+        assert len(single.scenarios) == len(sharded.result.scenarios)
+        for a, b in zip(single.scenarios, sharded.result.scenarios):
+            assert a.name == b.name
+            assert a.completed == b.completed
+            assert a.submitted == b.submitted
+            # Bit-exact: same engine arithmetic, same per-machine seeds.
+            assert a.instructions == b.instructions
+            assert a.cycles == b.cycles
+            assert a.stall_cycles == b.stall_cycles
+            assert a.l3_misses == b.l3_misses
+
+    def test_vector_two_shards_match_single_process(self):
+        grid = tiny_grid()
+        single = FleetSweep(grid, **TINY).run("vector")
+        sharded = run_sharded(grid, shards=2, backend="vector", **TINY)
+        assert sharded.shards == 2
+        self.assert_merged_identical(single, sharded)
+
+    def test_scalar_two_shards_match_single_process(self):
+        grid = tiny_grid()[:2]
+        single = FleetSweep(grid, **TINY).run("scalar")
+        sharded = run_sharded(grid, shards=2, backend="scalar", **TINY)
+        self.assert_merged_identical(single, sharded)
+
+    def test_one_shard_runs_inline(self):
+        grid = tiny_grid()[:2]
+        sharded = run_sharded(grid, shards=1, backend="vector", **TINY)
+        single = FleetSweep(grid, **TINY).run("vector")
+        assert sharded.shards == 1
+        self.assert_merged_identical(single, sharded)
+
+    def test_preset_spec_sharded_matches_inline(self):
+        compiled = compile_spec(load_preset("smoke"))
+        sharded = compiled.run(shards=2)
+        inline = compiled.run(shards=1)
+        self.assert_merged_identical(inline.result, sharded)
+        assert sharded.render().count("shard ") == sharded.shards
+
+    def test_custom_registry_reaches_the_workers(self, registry):
+        """compile_spec(registry=...) must govern the sharded run too."""
+        from repro.scenarios import parse_spec_text
+
+        subset = registry.subset(["bfs-py", "float-py"])
+        spec = parse_spec_text(
+            'name = "sub"\n'
+            "[sweep]\nhorizon_seconds = 0.1\nregistry_scale = 0.05\n"
+            "[grid]\nmixes = [\"all\"]\nmachines = [1, 2]\ncores_per_machine = 2\n"
+        )
+        compiled = compile_spec(spec, registry=subset)
+        sharded = compiled.run(shards=2)
+        single = compiled.sweep().run("vector")
+        # If a worker silently fell back to the 27-function default
+        # registry, its uniform draws (2 vs 27 functions) would diverge.
+        for a, b in zip(single.scenarios, sharded.result.scenarios):
+            assert a.completed == b.completed
+            assert a.instructions == b.instructions
+
+    def test_shard_timings_cover_all_scenarios(self):
+        grid = tiny_grid()
+        sharded = run_sharded(grid, shards=2, backend="vector", **TINY)
+        names = sorted(
+            name for timing in sharded.shard_timings for name in timing.scenario_names
+        )
+        assert names == sorted(s.name for s in grid)
+        assert all(t.wall_seconds > 0 for t in sharded.shard_timings)
+
+
+class TestCLISpecPath:
+    def test_sweep_spec_shards_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bench = tmp_path / "bench.json"
+        code = main(
+            [
+                "sweep",
+                "--spec",
+                "smoke",
+                "--shards",
+                "2",
+                "--bench-json",
+                str(bench),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 shard(s)" in out
+        import json
+
+        document = json.loads(bench.read_text(encoding="utf-8"))
+        (record,) = document["runs"]
+        assert record["source"] == "fleet-sweep"
+        assert record["spec"] == "smoke"
+        assert record["shards"] == 2
+        assert len(record["shard_seconds"]) == 2
+
+    def test_spec_conflicts_with_grid_flags(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--spec", "smoke", "--machines", "4"])
+        assert code == 2
+        assert "--machines conflict with --spec" in capsys.readouterr().err
+
+    def test_bad_colocation_token_named(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--colocation", "1,two", "--no-bench"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "'two'" in err and "--colocation" in err
+
+    def test_bad_mix_token_named(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--mixes", "all,bogus", "--no-bench"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "'bogus'" in err and "memory-intensive" in err
+
+    def test_unknown_spec_lists_presets(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--spec", "not-a-preset", "--no-bench"])
+        assert code == 2
+        assert "smoke" in capsys.readouterr().err

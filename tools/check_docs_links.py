@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans markdown files for inline links/images (``[text](target)``) and
+verifies that every *relative* target exists on disk, resolved against the
+linking file's directory.  External schemes (http/https/mailto) and
+pure-fragment links (``#anchor``) are skipped; a ``#fragment`` suffix on a
+file target is stripped before the existence check.  Same-file heading
+anchors are validated against the file's ATX headings.
+
+Usage (repo root is the default scan set)::
+
+    python tools/check_docs_links.py [path ...]
+
+Exits 1 listing every broken link; 0 when all resolve.  Run by the CI
+``docs`` job and by ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown link or image: [text](target) — target without spaces.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Default scan set, relative to the repo root.
+DEFAULT_TARGETS = ("README.md", "docs")
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub-style slug of one heading line."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def markdown_files(targets: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.md")))
+        elif target.suffix.lower() == ".md":
+            files.append(target)
+    return files
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Broken links in one file as (target, reason) pairs."""
+    text = path.read_text(encoding="utf-8")
+    anchors = {_anchor_of(h) for h in _HEADING.findall(text)}
+    broken: List[Tuple[str, str]] = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SCHEMES):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                broken.append((target, "no such heading in this file"))
+            continue
+        file_part = target.split("#", 1)[0]
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            broken.append((target, f"no such file: {resolved}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    targets = [Path(arg) for arg in argv] or [root / t for t in DEFAULT_TARGETS]
+    files = markdown_files(targets)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for target, reason in check_file(path):
+            failures += 1
+            print(f"{path}: broken link {target!r} ({reason})", file=sys.stderr)
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"{len(files)} markdown file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
