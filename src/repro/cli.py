@@ -13,6 +13,7 @@ Usage examples::
     python -m repro sweep --compare          # vector vs scalar fast-path speedup
     python -m repro sweep --spec smoke --shards 2        # declarative spec, sharded
     python -m repro sweep --spec studies/big.toml --shards 8
+    python -m repro sweep --spec chaos-smoke --shards 2 --metrics   # fault axis + live metrics
 
 Single-figure runs print the regenerated rows; sweep runs (``--figures``)
 write every figure to the results directory, append per-figure wall-clock to
@@ -90,6 +91,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         bench_path=Path(args.bench_json) if args.bench_json else None,
         progress=progress,
         profile=args.profile,
+        metrics_path=Path(args.metrics_out) if args.metrics_out else None,
     )
     total_cpu = sum(run.seconds for run in report.runs)
     print(
@@ -129,6 +131,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 ("--results-dir", args.results_dir != "results"),
                 ("--bench-json", args.bench_json is not None),
                 ("--profile", args.profile),
+                ("--metrics-out", args.metrics_out is not None),
             )
             if value
         ]
@@ -194,13 +197,20 @@ def _command_sweep(args: argparse.Namespace) -> int:
     from repro import benchlog
     from repro.hardware.topology import CASCADE_LAKE_5218
     from repro.platform.batch import FleetSweep, run_sharded, scenario_grid
-    from repro.scenarios import SpecError, compile_spec, load_spec_or_preset
+    from repro.scenarios import (
+        DegradationReport,
+        SpecError,
+        compile_spec,
+        load_spec_or_preset,
+    )
 
     if args.shards is not None and args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
+    metrics_enabled = args.metrics or args.metrics_out is not None
 
     spec = None
+    compiled = None
     if args.spec is not None:
         conflicts = [
             flag
@@ -279,23 +289,53 @@ def _command_sweep(args: argparse.Namespace) -> int:
             print(message, file=sys.stderr)
             return 2
 
+    has_faults = compiled is not None and compiled.has_faults
+    if args.compare and has_faults:
+        print(
+            f"--compare is not supported for fault-carrying specs "
+            f"(spec {spec.name!r} declares [[faults]]); faulted sweeps "
+            f"already run a fault-free baseline for the degradation report",
+            file=sys.stderr,
+        )
+        return 2
+
     print(
         f"fleet sweep: {len(scenarios)} scenario(s), "
         f"{fleet_size} concurrent invocations, "
         f"{horizon:g}s horizon, {shards} shard(s)"
-        + (f" [spec: {spec.name}]" if spec is not None else ""),
+        + (f" [spec: {spec.name}]" if spec is not None else "")
+        + (" [faults]" if has_faults else ""),
         flush=True,
     )
 
-    def execute(run_backend: str):
+    collector = None
+    metrics_queue = None
+    manager = None
+    if metrics_enabled:
+        import multiprocessing
+
+        from repro.obs import MetricsCollector
+
+        manager = multiprocessing.Manager()
+        metrics_queue = manager.Queue()
+        collector = MetricsCollector(
+            metrics_queue,
+            stream=sys.stderr,
+            out_path=Path(args.metrics_out) if args.metrics_out else None,
+        ).start()
+
+    def execute(run_backend: str, scenario_list=None, *, meter=False, label=""):
         return run_sharded(
-            scenarios,
+            scenarios if scenario_list is None else scenario_list,
             shards=shards,
             backend=run_backend,
             machine=machine,
             horizon_seconds=horizon,
             epoch_seconds=epoch_seconds,
             registry_scale=registry_scale,
+            meter=meter,
+            metrics_queue=metrics_queue,
+            metrics_label=label,
         )
 
     figures = {}
@@ -307,7 +347,31 @@ def _command_sweep(args: argparse.Namespace) -> int:
     }
     if spec is not None:
         extra["spec"] = spec.name
-    if args.compare:
+    if has_faults:
+        # Faulted sweeps run twice on the same grid: once with the faults
+        # stripped (the pricing-accuracy baseline), once as declared.
+        baseline = execute(backend, compiled.without_faults().scenarios,
+                           meter=True, label="base:")
+        faulted = execute(backend, meter=True, label="fault:")
+        report = DegradationReport.build(baseline.result, faulted.result)
+        print(faulted.render())
+        print(report.render())
+        print(
+            f"{faulted.completed} invocations completed in "
+            f"{faulted.wall_seconds:.2f}s wall (+{baseline.wall_seconds:.2f}s "
+            f"baseline) [{faulted.result.backend}, {faulted.shards} shard(s)]"
+        )
+        figures[f"fleet-sweep-{faulted.result.backend}"] = faulted.wall_seconds
+        extra.update(
+            backend=faulted.result.backend,
+            completed=faulted.completed,
+            baseline_completed=baseline.completed,
+            shards=faulted.shards,
+            shard_seconds=[round(t.wall_seconds, 4) for t in faulted.shard_timings],
+            baseline_wall_seconds=round(baseline.wall_seconds, 4),
+            fault_report=report.to_dict(),
+        )
+    elif args.compare:
         vector = execute("vector")
         scalar = execute("scalar")
         speedup = scalar.wall_seconds / max(vector.wall_seconds, 1e-9)
@@ -346,6 +410,14 @@ def _command_sweep(args: argparse.Namespace) -> int:
             shards=result.shards,
             shard_seconds=[round(t.wall_seconds, 4) for t in result.shard_timings],
         )
+
+    if collector is not None:
+        collector.stop()
+        extra["metrics"] = collector.summary()
+        if args.metrics_out:
+            print(f"[metrics written to {args.metrics_out}]")
+    if manager is not None:
+        manager.shutdown()
 
     if not args.no_bench:
         bench_path = (
@@ -444,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep mode: run each figure under cProfile and print the "
         "top-20 cumulative entries",
     )
+    run_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="sweep mode: append one JSON line per completed figure to FILE "
+        "(see docs/observability.md)",
+    )
     run_parser.set_defaults(handler=_command_run)
 
     sweep_parser = subparsers.add_parser(
@@ -452,10 +531,14 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "Scenario specs: pass --spec FILE.toml (or a shipped preset name:\n"
-            "smoke, steady-state, memory-pressure, colocation-ladder) instead\n"
-            "of grid flags; add --shards N to fan the grid out over worker\n"
-            "processes with results identical to --shards 1.\n"
+            "smoke, chaos-smoke, steady-state, memory-pressure,\n"
+            "colocation-ladder) instead of grid flags; add --shards N to fan\n"
+            "the grid out over worker processes with results identical to\n"
+            "--shards 1.  Specs declaring [[faults]] also run a fault-free\n"
+            "baseline and print a degradation report; --metrics streams live\n"
+            "per-shard progress.\n"
             "Docs: docs/scenarios.md (spec format + cookbook),\n"
+            "docs/chaos.md (fault axis), docs/observability.md (--metrics),\n"
             "docs/backends.md (vector vs scalar engines)."
         ),
     )
@@ -536,6 +619,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-bench",
         action="store_true",
         help="skip appending a fleet-sweep record to BENCH_engine.json",
+    )
+    sweep_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="stream live per-shard progress (epochs/sec, completions, fault "
+        "counters) to stderr while the sweep runs (see docs/observability.md)",
+    )
+    sweep_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="append every metrics snapshot to FILE as JSON lines "
+        "(implies --metrics)",
     )
     sweep_parser.set_defaults(handler=_command_sweep)
 

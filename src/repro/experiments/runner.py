@@ -171,6 +171,7 @@ def run_figures(
     record_bench: bool = True,
     progress: Optional[Callable[[FigureRun], None]] = None,
     profile: bool = False,
+    metrics_path: Optional[Path] = None,
 ) -> SweepReport:
     """Regenerate ``names`` with ``jobs`` workers.
 
@@ -180,10 +181,30 @@ def run_figures(
     appended to the ``BENCH_engine.json`` trajectory.  With ``profile``
     each figure runs under :mod:`cProfile` and its top-20
     cumulative-time entries ride along on the returned runs.
+    ``metrics_path`` appends one JSON line per completed figure (plus a
+    final ``done`` record) — the ``run`` counterpart of
+    ``sweep --metrics-out`` (see docs/observability.md).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     ordered = _dispatch_order(names)
+    metrics_writer = None
+    if metrics_path is not None:
+        from repro.obs import JsonlWriter
+
+        metrics_writer = JsonlWriter(metrics_path)
+
+    def record_figure(run: FigureRun, completed: int) -> None:
+        if metrics_writer is not None:
+            metrics_writer.write(
+                {
+                    "event": "figure",
+                    "figure": run.name,
+                    "seconds": round(run.seconds, 4),
+                    "completed": completed,
+                    "total": len(ordered),
+                }
+            )
     # Recorded so trajectory readers can tell a cold sweep from a warm one:
     # per-figure seconds mostly reflect which job paid for a shared cached
     # artefact first, so only same-temperature records compare meaningfully.
@@ -200,6 +221,7 @@ def run_figures(
         for name in ordered:
             run = _execute_job(name, profile)
             runs.append(run)
+            record_figure(run, len(runs))
             if progress is not None:
                 progress(run)
     else:
@@ -210,6 +232,7 @@ def run_figures(
                 for future in done:
                     run = future.result()
                     runs.append(run)
+                    record_figure(run, len(runs))
                     if progress is not None:
                         progress(run)
     runs.sort(key=lambda run: ordered.index(run.name))
@@ -245,6 +268,16 @@ def run_figures(
             checked.append(run)
 
     wall = time.perf_counter() - sweep_start
+    if metrics_writer is not None:
+        metrics_writer.write(
+            {
+                "event": "done",
+                "figures": len(runs),
+                "jobs": jobs,
+                "wall_seconds": round(wall, 4),
+            }
+        )
+        metrics_writer.close()
     written_bench: Optional[Path] = None
     if record_bench:
         written_bench = benchlog.append_run(

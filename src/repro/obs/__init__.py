@@ -1,0 +1,18 @@
+"""Lightweight sweep observability (metrics snapshots, emitters, collector).
+
+See :mod:`repro.obs.metrics` and docs/observability.md.
+"""
+
+from repro.obs.metrics import (
+    JsonlWriter,
+    MetricsCollector,
+    MetricsEmitter,
+    ProgressSnapshot,
+)
+
+__all__ = [
+    "JsonlWriter",
+    "MetricsCollector",
+    "MetricsEmitter",
+    "ProgressSnapshot",
+]

@@ -1,0 +1,288 @@
+"""Live sweep observability: snapshots, emitters, and the collector.
+
+Long sharded sweeps used to run silently until the merge.  This module is
+the thin metrics layer between the sweep engines and the CLI:
+
+* :class:`ProgressSnapshot` — one frozen reading of a shard's progress
+  (epochs, completions, fault counters, billing error so far).
+* :class:`MetricsEmitter` — the *worker* side.  It is the ``progress``
+  callback handed to :meth:`FleetSweep.run`; it stamps payload dicts into
+  snapshots and puts them on a (multiprocessing) queue, throttled by
+  wall-clock so emission stays far below 1% of epoch work.  Final
+  (``done=True``) snapshots always pass the throttle.
+* :class:`MetricsCollector` — the *parent* side.  A daemon thread drains
+  the queue, optionally renders one status line per snapshot batch to a
+  stream, optionally appends every snapshot to a JSONL file
+  (``--metrics-out``), and aggregates a summary dict that the CLI records
+  into ``BENCH_engine.json`` run extras.
+
+Observability is strictly read-only: emitters see counters the engines
+already maintain, so ``--metrics`` can never change a sweep's results.
+See docs/observability.md for the cookbook.
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_module
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Any, Dict, Mapping, Optional
+
+#: Payload keys a sweep backend must provide to its progress callback.
+PAYLOAD_KEYS = (
+    "backend",
+    "scenarios_total",
+    "scenarios_done",
+    "epochs_done",
+    "epochs_total",
+    "completions",
+    "submissions",
+    "fault_injections",
+    "meter_dropped",
+    "meter_duplicated",
+    "billed_gb_seconds",
+    "true_gb_seconds",
+    "done",
+)
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One shard's progress at one instant (queue-serialized, picklable)."""
+
+    shard: str
+    backend: str
+    scenarios_total: int
+    scenarios_done: int
+    epochs_done: int
+    epochs_total: int
+    completions: int
+    submissions: int
+    fault_injections: int
+    meter_dropped: int
+    meter_duplicated: int
+    billed_gb_seconds: float
+    true_gb_seconds: float
+    wall_seconds: float
+    done: bool = False
+
+    @property
+    def epochs_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.epochs_done / self.wall_seconds
+
+    @property
+    def progress_fraction(self) -> float:
+        if self.epochs_total <= 0:
+            return 0.0
+        return min(self.epochs_done / self.epochs_total, 1.0)
+
+    @property
+    def billing_error_fraction(self) -> float:
+        if self.true_gb_seconds <= 0:
+            return 0.0
+        return (self.billed_gb_seconds - self.true_gb_seconds) / self.true_gb_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = asdict(self)
+        record["epochs_per_second"] = self.epochs_per_second
+        record["billing_error_fraction"] = self.billing_error_fraction
+        return record
+
+    def render_line(self) -> str:
+        """The one-line form the CLI prints per update."""
+        percent = 100.0 * self.progress_fraction
+        line = (
+            f"[metrics] shard {self.shard} [{self.backend}] "
+            f"{percent:5.1f}% epochs, {self.epochs_per_second:,.0f} epochs/s, "
+            f"{self.completions} completed"
+        )
+        if self.fault_injections or self.meter_dropped or self.meter_duplicated:
+            line += (
+                f", faults: {self.fault_injections} injected, "
+                f"meter -{self.meter_dropped}/+{self.meter_duplicated}"
+            )
+        if self.true_gb_seconds > 0:
+            line += f", bill err {100.0 * self.billing_error_fraction:+.2f}%"
+        if self.done:
+            line += " [done]"
+        return line
+
+
+class MetricsEmitter:
+    """Worker-side throttled snapshot publisher (the progress callback).
+
+    ``queue`` only needs a ``put`` method — a ``multiprocessing.Manager``
+    queue proxy in sharded runs, a plain ``queue.Queue`` inline.  Queue
+    failures are swallowed: metrics must never kill a sweep.
+    """
+
+    def __init__(
+        self,
+        queue: Any,
+        *,
+        shard: int = 0,
+        label: str = "",
+        min_interval_seconds: float = 0.5,
+    ) -> None:
+        self._queue = queue
+        self._shard = f"{label}{shard}"
+        self._interval = max(min_interval_seconds, 0.0)
+        self._start = time.perf_counter()
+        self._last_emit = float("-inf")
+
+    def __call__(self, payload: Mapping[str, Any]) -> None:
+        now = time.perf_counter()
+        if not payload.get("done", False):
+            if now - self._last_emit < self._interval:
+                return
+        self._last_emit = now
+        snapshot = ProgressSnapshot(
+            shard=self._shard,
+            wall_seconds=now - self._start,
+            **{key: payload[key] for key in PAYLOAD_KEYS if key in payload},
+        )
+        try:
+            self._queue.put(snapshot)
+        except Exception:  # pragma: no cover - queue torn down mid-run
+            pass
+
+
+class MetricsCollector:
+    """Parent-side queue drainer: renders, records, and summarizes.
+
+    Start before launching the sweep, stop after it returns; snapshots
+    still in flight at :meth:`stop` are drained before the thread exits.
+    """
+
+    def __init__(
+        self,
+        queue: Any,
+        *,
+        stream: Optional[IO[str]] = None,
+        out_path: Optional[Path] = None,
+        min_render_interval_seconds: float = 0.5,
+    ) -> None:
+        self._queue = queue
+        self._stream = stream
+        self._out_path = None if out_path is None else Path(out_path)
+        self._render_interval = min_render_interval_seconds
+        self._last_render = float("-inf")
+        self._latest: Dict[str, ProgressSnapshot] = {}
+        self._final: Dict[str, ProgressSnapshot] = {}
+        self._snapshots_seen = 0
+        self._out_file: Optional[IO[str]] = None
+        self._stopping = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsCollector":
+        if self._out_path is not None:
+            self._out_path.parent.mkdir(parents=True, exist_ok=True)
+            self._out_file = self._out_path.open("a", encoding="utf-8")
+        self._thread = threading.Thread(
+            target=self._drain, name="metrics-collector", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self._out_file is not None:
+            self._out_file.close()
+            self._out_file = None
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                snapshot = self._queue.get(timeout=0.1)
+            except queue_module.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            except (EOFError, OSError):  # pragma: no cover - manager gone
+                return
+            self._handle(snapshot)
+
+    def _handle(self, snapshot: ProgressSnapshot) -> None:
+        self._snapshots_seen += 1
+        self._latest[snapshot.shard] = snapshot
+        if snapshot.done:
+            self._final[snapshot.shard] = snapshot
+        if self._out_file is not None:
+            self._out_file.write(json.dumps(snapshot.to_dict(), sort_keys=True) + "\n")
+            self._out_file.flush()
+        if self._stream is not None:
+            now = time.perf_counter()
+            if snapshot.done or now - self._last_render >= self._render_interval:
+                self._last_render = now
+                print(snapshot.render_line(), file=self._stream, flush=True)
+
+    @property
+    def snapshots_seen(self) -> int:
+        return self._snapshots_seen
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view over the final (or latest) per-shard snapshots.
+
+        Wall-clock-free counters here are deterministic for a seeded spec;
+        ``epochs_per_second`` is the only timing-derived field.
+        """
+        finals = {
+            shard: self._final.get(shard, latest)
+            for shard, latest in self._latest.items()
+        }
+        per_shard = {
+            shard: {
+                "backend": snap.backend,
+                "epochs": snap.epochs_done,
+                "completions": snap.completions,
+                "epochs_per_second": snap.epochs_per_second,
+                "fault_injections": snap.fault_injections,
+                "meter_dropped": snap.meter_dropped,
+                "meter_duplicated": snap.meter_duplicated,
+                "done": snap.done,
+            }
+            for shard, snap in sorted(finals.items())
+        }
+        return {
+            "snapshots": self._snapshots_seen,
+            "shards": per_shard,
+            "epochs": sum(s.epochs_done for s in finals.values()),
+            "completions": sum(s.completions for s in finals.values()),
+            "fault_injections": sum(s.fault_injections for s in finals.values()),
+            "meter_dropped": sum(s.meter_dropped for s in finals.values()),
+            "meter_duplicated": sum(s.meter_duplicated for s in finals.values()),
+        }
+
+
+class JsonlWriter:
+    """Append-only JSONL event stream (used by ``run --metrics-out``)."""
+
+    def __init__(self, path: Path) -> None:
+        self._path = Path(path)
+        self._file: Optional[IO[str]] = None
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        if self._file is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self._path.open("a", encoding="utf-8")
+        self._file.write(json.dumps(dict(record), sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

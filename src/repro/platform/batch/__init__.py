@@ -36,6 +36,17 @@ from repro.platform.batch.shard import (
     partition_scenarios,
     run_sharded,
 )
+from repro.platform.faults import (
+    FAULT_TYPES,
+    FaultSpec,
+    FaultStats,
+    faults_for_scenario,
+)
+from repro.platform.metering import (
+    MeterFaultInjector,
+    MeteringLedger,
+    TenantBilling,
+)
 
 __all__ = [
     "VectorEngine",
@@ -52,4 +63,11 @@ __all__ = [
     "ShardedSweepResult",
     "partition_scenarios",
     "run_sharded",
+    "FAULT_TYPES",
+    "FaultSpec",
+    "FaultStats",
+    "faults_for_scenario",
+    "MeterFaultInjector",
+    "MeteringLedger",
+    "TenantBilling",
 ]

@@ -34,13 +34,15 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.hardware.topology import CASCADE_LAKE_5218, MachineSpec
+from repro.obs.metrics import MetricsEmitter
 from repro.platform.batch.sweep import (
     FleetScenario,
     FleetSweep,
     FleetSweepResult,
+    ProgressCallback,
     ScenarioResult,
 )
 from repro.workloads.registry import FunctionRegistry
@@ -142,6 +144,23 @@ class _ShardJob:
     backend: str
     #: Optional custom registry (specs are frozen dataclasses: picklable).
     registry: Optional[FunctionRegistry] = None
+    #: Meter every scenario (not just fault-carrying ones).
+    meter: bool = False
+    #: Manager queue proxy for live metrics; None disables emission.
+    metrics_queue: Optional[Any] = None
+    metrics_interval: float = 0.5
+    metrics_label: str = ""
+
+
+def _shard_progress(job: _ShardJob) -> Optional[ProgressCallback]:
+    if job.metrics_queue is None:
+        return None
+    return MetricsEmitter(
+        job.metrics_queue,
+        shard=job.shard,
+        label=job.metrics_label,
+        min_interval_seconds=job.metrics_interval,
+    )
 
 
 def _run_shard(job: _ShardJob) -> Tuple[int, FleetSweepResult]:
@@ -153,8 +172,9 @@ def _run_shard(job: _ShardJob) -> Tuple[int, FleetSweepResult]:
         epoch_seconds=job.epoch_seconds,
         registry=job.registry,
         registry_scale=job.registry_scale,
+        meter=job.meter,
     )
-    return job.shard, sweep.run(job.backend)
+    return job.shard, sweep.run(job.backend, progress=_shard_progress(job))
 
 
 def run_sharded(
@@ -168,6 +188,10 @@ def run_sharded(
     registry_scale: float = 0.1,
     registry: Optional[FunctionRegistry] = None,
     max_workers: Optional[int] = None,
+    meter: bool = False,
+    metrics_queue: Optional[Any] = None,
+    metrics_interval: float = 0.5,
+    metrics_label: str = "",
 ) -> ShardedSweepResult:
     """Run a scenario grid partitioned across worker processes.
 
@@ -180,6 +204,14 @@ def run_sharded(
     (it is pickled into the shard jobs).  ``max_workers`` caps concurrent
     processes (default: the shard count, bounded by the CPU count);
     lowering it only queues shards, it cannot change any result.
+
+    ``meter`` bills every scenario (fault-carrying scenarios always bill).
+    ``metrics_queue`` — typically a ``multiprocessing.Manager().Queue()``
+    proxy, which pickles into workers — turns on live progress snapshots:
+    each shard emits :class:`~repro.obs.metrics.ProgressSnapshot` objects at
+    most every ``metrics_interval`` seconds, tagged ``metrics_label + shard``
+    (see :mod:`repro.obs`).  Metrics are read-only and cannot change any
+    simulated number.
     """
     start = time.perf_counter()
     parts = partition_scenarios(scenarios, shards, machine=machine)
@@ -191,8 +223,17 @@ def run_sharded(
             epoch_seconds=epoch_seconds,
             registry=registry,
             registry_scale=registry_scale,
+            meter=meter,
         )
-        result = sweep.run(backend)
+        progress: Optional[ProgressCallback] = None
+        if metrics_queue is not None:
+            progress = MetricsEmitter(
+                metrics_queue,
+                shard=0,
+                label=metrics_label,
+                min_interval_seconds=metrics_interval,
+            )
+        result = sweep.run(backend, progress=progress)
         timing = ShardTiming(
             shard=0,
             scenario_names=tuple(s.name for s in scenarios),
@@ -217,6 +258,10 @@ def run_sharded(
             registry_scale=registry_scale,
             backend=backend,
             registry=registry,
+            meter=meter,
+            metrics_queue=metrics_queue,
+            metrics_interval=metrics_interval,
+            metrics_label=metrics_label,
         )
         for shard, part in enumerate(parts)
     ]

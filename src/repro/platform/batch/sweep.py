@@ -31,17 +31,23 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.hardware.cpu import CPU
 from repro.hardware.topology import CASCADE_LAKE_5218, MachineSpec
 from repro.platform.batch.vector_engine import VectorEngine, VectorEngineConfig
+from repro.platform.churn import WindowedBurst
 from repro.platform.engine import EngineConfig, SimulationEngine
+from repro.platform.faults import FAULT_ROLE, FaultCounters, FaultSpec, FaultStats
+from repro.platform.metering import MeterFaultInjector, MeteringLedger, TenantBilling
 from repro.platform.scheduler import LeastOccupancyScheduler
 from repro.workloads.function import FunctionSpec
 from repro.workloads.registry import FunctionRegistry, default_registry
-from repro.workloads.synthetic import Mixer, TrafficModel
+from repro.workloads.synthetic import Mixer, TrafficModel, WorkloadMixer
+
+#: Progress callback: receives a plain payload dict (see ``repro.obs``).
+ProgressCallback = Callable[[Dict[str, object]], None]
 
 _BACKENDS = ("vector", "scalar")
 
@@ -99,6 +105,9 @@ class FleetScenario:
     #: default: uniform random draws from the pool the ``mix`` string names.
     #: A model with explicit ``functions`` overrides the ``mix`` pool.
     traffic: Optional[TrafficModel] = None
+    #: Faults applied to this scenario (already filtered by scenario glob —
+    #: see :func:`repro.scenarios.expand_grid`).  Empty = healthy fleet.
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.machines < 1:
@@ -138,6 +147,11 @@ class ScenarioResult:
     cycles: float
     stall_cycles: float
     l3_misses: float
+    #: Per-tenant billing ledger; populated when metering was enabled
+    #: (``FleetSweep(meter=True)`` or any fault on the scenario).
+    billing: Optional[TenantBilling] = None
+    #: Fault accounting; populated when the scenario declared faults.
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def throughput_per_machine_second(self) -> float:
@@ -205,6 +219,74 @@ class FleetSweepResult:
         return table
 
 
+@dataclass(frozen=True)
+class _BoundaryAction:
+    """One thing to do at a fault-window boundary."""
+
+    kind: str  # "burst-open" | "throttle-open" | "throttle-close"
+    fault: FaultSpec
+    window: Tuple[float, float]
+
+
+def _fault_boundaries(
+    faults: Sequence[FaultSpec], horizon_seconds: float
+) -> List[Tuple[float, List[_BoundaryAction]]]:
+    """Time-sorted fault-window boundaries for one scenario.
+
+    Both backends segment the horizon at exactly these times (and with the
+    identical ``target = time + (boundary - time)`` arithmetic), so a fault
+    takes effect at the same epoch on either engine.  Burst windows only
+    need an opening boundary — their drivers stop resubmitting once the
+    engine clock passes the window end; throttles need a closing boundary
+    to restore the clock.
+    """
+    by_time: Dict[float, List[_BoundaryAction]] = {}
+    for fault in faults:
+        window = fault.window(horizon_seconds)
+        if window is None:
+            continue
+        start, end = window
+        if fault.type == "freq-throttle":
+            by_time.setdefault(start, []).append(
+                _BoundaryAction("throttle-open", fault, window)
+            )
+            if end < horizon_seconds:
+                by_time.setdefault(end, []).append(
+                    _BoundaryAction("throttle-close", fault, window)
+                )
+        else:
+            by_time.setdefault(start, []).append(
+                _BoundaryAction("burst-open", fault, window)
+            )
+    return sorted(by_time.items())
+
+
+def _throttle_scale(active_factors: Sequence[float]) -> float:
+    """Combined frequency multiplier of the currently open throttles."""
+    scale = 1.0
+    for factor in active_factors:
+        scale *= factor
+    return scale
+
+
+class _BurstState:
+    """Vector-side burst bookkeeping: one instance per opened burst window."""
+
+    __slots__ = ("fault", "end_seconds", "mixers", "scenario_index")
+
+    def __init__(
+        self,
+        fault: FaultSpec,
+        end_seconds: float,
+        mixers: Dict[int, WorkloadMixer],
+        scenario_index: int,
+    ) -> None:
+        self.fault = fault
+        self.end_seconds = end_seconds
+        self.mixers = mixers
+        self.scenario_index = scenario_index
+
+
 def scenario_grid(
     mixes: Sequence[str],
     machine_counts: Sequence[int],
@@ -258,6 +340,7 @@ class FleetSweep:
         epoch_seconds: float = 1e-3,
         registry: Optional[FunctionRegistry] = None,
         registry_scale: float = 0.1,
+        meter: bool = False,
     ) -> None:
         if not scenarios:
             raise ValueError("at least one scenario is required")
@@ -273,6 +356,10 @@ class FleetSweep:
         self._epoch_seconds = epoch_seconds
         base = registry or default_registry()
         self._registry = base if registry_scale == 1.0 else base.scaled(registry_scale)
+        #: Bill per-tenant GB-seconds even for healthy scenarios.  Scenarios
+        #: with any declared fault are always metered, so a faulted run and
+        #: its faults-stripped baseline both carry billing ledgers.
+        self._meter = meter
 
     @property
     def scenarios(self) -> List[FleetScenario]:
@@ -316,15 +403,24 @@ class FleetSweep:
             self._make_mixer(scenario, 0)
             scenario.cores(self._machine)
 
-    def run(self, backend: str = "vector") -> FleetSweepResult:
-        """Simulate every scenario on ``backend`` (``vector`` or ``scalar``)."""
+    def run(
+        self, backend: str = "vector", *, progress: Optional[ProgressCallback] = None
+    ) -> FleetSweepResult:
+        """Simulate every scenario on ``backend`` (``vector`` or ``scalar``).
+
+        ``progress``, when given, receives payload dicts (see
+        :mod:`repro.obs`) a few times per second while the sweep advances,
+        plus one final payload with ``done=True``.  Observability never
+        changes results: the instrumented paths step the same epochs with
+        the same arithmetic as the plain ones.
+        """
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
         start = time.perf_counter()
         if backend == "vector":
-            results = self._run_vector()
+            results = self._run_vector(progress)
         else:
-            results = self._run_scalar()
+            results = self._run_scalar(progress)
         wall = time.perf_counter() - start
         return FleetSweepResult(
             backend=backend,
@@ -341,9 +437,126 @@ class FleetSweep:
         return vector, scalar, speedup
 
     # ------------------------------------------------------------------ #
+    # Fault plumbing shared by both backends
+    # ------------------------------------------------------------------ #
+    def _scenario_metered(self, scenario: FleetScenario) -> bool:
+        return self._meter or bool(scenario.faults)
+
+    def _meter_injector(
+        self, scenario: FleetScenario, machine_index: int
+    ) -> Optional[MeterFaultInjector]:
+        """The machine's metering-fault injector, or ``None`` when healthy.
+
+        Seeded per machine (``fault.seed`` + the machine's index within its
+        scenario) so decisions depend only on that machine's own completion
+        order — shard membership and co-resident scenarios cannot change
+        them.  When a spec declares several faults of the same meter type
+        matching one scenario, the last one wins.
+        """
+        drop_p = dup_p = 0.0
+        drop_seed = dup_seed = 0
+        for fault in scenario.faults:
+            if fault.type == "meter-drop":
+                drop_p = fault.probability
+                drop_seed = fault.seed + machine_index
+            elif fault.type == "meter-dup":
+                dup_p = fault.probability
+                dup_seed = fault.seed + machine_index
+        if drop_p == 0.0 and dup_p == 0.0:
+            return None
+        return MeterFaultInjector(
+            drop_probability=drop_p,
+            duplicate_probability=dup_p,
+            drop_seed=drop_seed,
+            duplicate_seed=dup_seed,
+        )
+
+    def _burst_mixer(
+        self, scenario: FleetScenario, fault: FaultSpec, machine_index: int
+    ) -> WorkloadMixer:
+        """The burst draw stream for one fault on one machine.
+
+        ``churn-spike`` surges the scenario's own mix; ``noisy-neighbor``
+        draws from the fault's explicit function list or, by default, the
+        memory-intensive mix.  Seeded like the steady mixers: by the
+        machine's index within its scenario, never by grid position.
+        """
+        if fault.type == "noisy-neighbor":
+            if fault.functions:
+                pool = resolve_mix("+".join(fault.functions), self._registry)
+            else:
+                pool = self._registry.memory_intensive()
+        else:
+            pool = self._mix_pool(scenario)
+        return WorkloadMixer(pool, seed=fault.seed + machine_index)
+
+    def _nominal_throttled_epochs(self, scenario: FleetScenario) -> int:
+        """Machine-epochs the scenario nominally spends throttled."""
+        total = 0
+        for fault in scenario.faults:
+            if fault.type != "freq-throttle":
+                continue
+            window = fault.window(self._horizon)
+            if window is None:
+                continue
+            total += int(round((window[1] - window[0]) / self._epoch_seconds))
+        return total * scenario.machines
+
+    def _fill_meter_counts(
+        self, counters: Optional[FaultCounters], ledger: Optional[MeteringLedger]
+    ) -> None:
+        if counters is None or ledger is None:
+            return
+        counters.meter_events = ledger.events
+        counters.meter_dropped = ledger.dropped
+        counters.meter_duplicated = ledger.duplicated
+
+    def _progress_payload(
+        self,
+        backend: str,
+        *,
+        scenarios_done: int,
+        epochs_done: int,
+        epochs_total: int,
+        completions: int,
+        submissions: int,
+        counters: Sequence[Optional[FaultCounters]],
+        ledgers: Sequence[Optional[MeteringLedger]],
+        done: bool = False,
+    ) -> Dict[str, object]:
+        injections = dropped = duplicated = 0
+        billed = true = 0.0
+        for counter in counters:
+            if counter is not None:
+                injections += counter.spike_submissions + counter.neighbor_submissions
+        for ledger in ledgers:
+            if ledger is not None:
+                dropped += ledger.dropped
+                duplicated += ledger.duplicated
+                billed += ledger.billed_total
+                true += ledger.true_total
+        return {
+            "backend": backend,
+            "scenarios_total": len(self._scenarios),
+            "scenarios_done": scenarios_done,
+            "epochs_done": epochs_done,
+            "epochs_total": epochs_total,
+            "completions": completions,
+            "submissions": submissions,
+            "fault_injections": injections,
+            "meter_dropped": dropped,
+            "meter_duplicated": duplicated,
+            "billed_gb_seconds": billed,
+            "true_gb_seconds": true,
+            "done": done,
+        }
+
+    # ------------------------------------------------------------------ #
     # Vector backend: one engine, every machine of every scenario
     # ------------------------------------------------------------------ #
-    def _run_vector(self) -> List[ScenarioResult]:
+    def _run_vector(
+        self, progress: Optional[ProgressCallback] = None
+    ) -> List[ScenarioResult]:
         spec = self._machine
         total_machines = sum(s.machines for s in self._scenarios)
         engine = VectorEngine(
@@ -357,10 +570,12 @@ class FleetSweep:
         scenario_of_machine: Dict[int, int] = {}
         submitted = [0] * len(self._scenarios)
         completed = [0] * len(self._scenarios)
+        machine_offset = [0] * len(self._scenarios)
 
         offset = 0
         for s, scenario in enumerate(self._scenarios):
             cores = scenario.cores(spec)
+            machine_offset[s] = offset
             for machine in range(offset, offset + scenario.machines):
                 scenario_of_machine[machine] = s
                 mixers[machine] = self._make_mixer(scenario, machine - offset)
@@ -372,16 +587,55 @@ class FleetSweep:
                         submitted[s] += 1
             offset += scenario.machines
 
-        def on_finish(index: object, eng: VectorEngine) -> None:
-            machine = int(eng.machine_of[index])
-            thread = int(eng.gthread[index]) - machine * eng.threads_per_machine
-            s = scenario_of_machine[machine]
-            completed[s] += 1
-            eng.submit(mixers[machine].next(), machine=machine, thread_id=thread)
-            submitted[s] += 1
+        ledgers: List[Optional[MeteringLedger]] = [
+            MeteringLedger() if self._scenario_metered(s) else None
+            for s in self._scenarios
+        ]
+        fault_counters: List[Optional[FaultCounters]] = [
+            FaultCounters() if s.faults else None for s in self._scenarios
+        ]
+        boundaries: Dict[float, List[Tuple[int, _BoundaryAction]]] = {}
+        for s, scenario in enumerate(self._scenarios):
+            if fault_counters[s] is not None:
+                fault_counters[s].throttled_machine_epochs = (
+                    self._nominal_throttled_epochs(scenario)
+                )
+            for when, actions in _fault_boundaries(scenario.faults, self._horizon):
+                boundaries.setdefault(when, []).extend((s, a) for a in actions)
+        plain = (
+            progress is None
+            and not boundaries
+            and not any(ledger is not None for ledger in ledgers)
+        )
 
-        engine.add_finish_listener(on_finish)
-        engine.run_for(self._horizon)
+        if plain:
+
+            def on_finish(index: object, eng: VectorEngine) -> None:
+                machine = int(eng.machine_of[index])
+                thread = int(eng.gthread[index]) - machine * eng.threads_per_machine
+                s = scenario_of_machine[machine]
+                completed[s] += 1
+                eng.submit(mixers[machine].next(), machine=machine, thread_id=thread)
+                submitted[s] += 1
+
+            engine.add_finish_listener(on_finish)
+            engine.run_for(self._horizon)
+        else:
+            self._run_vector_instrumented(
+                engine,
+                mixers,
+                scenario_of_machine,
+                machine_offset,
+                submitted,
+                completed,
+                ledgers,
+                fault_counters,
+                boundaries,
+                progress,
+            )
+
+        for s in range(len(self._scenarios)):
+            self._fill_meter_counts(fault_counters[s], ledgers[s])
 
         results: List[ScenarioResult] = []
         offset = 0
@@ -408,24 +662,174 @@ class FleetSweep:
                     cycles=cycles,
                     stall_cycles=stall,
                     l3_misses=l3,
+                    billing=None if ledgers[s] is None else ledgers[s].freeze(),
+                    fault_stats=(
+                        None
+                        if fault_counters[s] is None
+                        else fault_counters[s].freeze()
+                    ),
                 )
             )
             offset += scenario.machines
         return results
 
+    def _run_vector_instrumented(
+        self,
+        engine: VectorEngine,
+        mixers: Dict[int, Mixer],
+        scenario_of_machine: Dict[int, int],
+        machine_offset: List[int],
+        submitted: List[int],
+        completed: List[int],
+        ledgers: List[Optional[MeteringLedger]],
+        fault_counters: List[Optional[FaultCounters]],
+        boundaries: Dict[float, List[Tuple[int, "_BoundaryAction"]]],
+        progress: Optional[ProgressCallback],
+    ) -> None:
+        """The fault/metering/metrics-aware vector drive loop.
+
+        Steps the very same epochs as ``run_for`` would — the horizon is
+        segmented at fault boundaries with the identical
+        ``target = time + (boundary - time)`` float arithmetic, so with no
+        faults declared this path is bit-exact against the plain one.
+        """
+        injectors: Dict[int, MeterFaultInjector] = {}
+        for machine, s in scenario_of_machine.items():
+            if ledgers[s] is not None:
+                injector = self._meter_injector(
+                    self._scenarios[s], machine - machine_offset[s]
+                )
+                if injector is not None:
+                    injectors[machine] = injector
+        burst_of: Dict[int, _BurstState] = {}
+
+        def on_finish(index: object, eng: VectorEngine) -> None:
+            machine = int(eng.machine_of[index])
+            s = scenario_of_machine[machine]
+            burst = burst_of.pop(index, None)
+            if burst is not None:
+                fault_counters[s].count_burst_finish(burst.fault.type)
+                if eng.time_seconds < burst.end_seconds:
+                    replacement = eng.submit(
+                        burst.mixers[machine].next(), machine=machine
+                    )
+                    burst_of[replacement] = burst
+                    fault_counters[s].count_burst_submit(burst.fault.type)
+                return
+            ledger = ledgers[s]
+            if ledger is not None:
+                function = eng.invocation_spec(index)
+                injector = injectors.get(machine)
+                ledger.observe(
+                    function.abbreviation,
+                    function.memory_gb,
+                    eng.invocation_elapsed_seconds(index),
+                    injector.copies() if injector is not None else 1,
+                )
+            thread = int(eng.gthread[index]) - machine * eng.threads_per_machine
+            completed[s] += 1
+            eng.submit(mixers[machine].next(), machine=machine, thread_id=thread)
+            submitted[s] += 1
+
+        engine.add_finish_listener(on_finish)
+
+        epochs_total = int(round(self._horizon / self._epoch_seconds))
+
+        def emit(done: bool = False) -> None:
+            if progress is None:
+                return
+            progress(
+                self._progress_payload(
+                    "vector",
+                    scenarios_done=len(self._scenarios) if done else 0,
+                    epochs_done=engine.stats.epochs,
+                    epochs_total=epochs_total,
+                    completions=sum(completed),
+                    submissions=sum(submitted),
+                    counters=fault_counters,
+                    ledgers=ledgers,
+                    done=done,
+                )
+            )
+
+        def advance(until: float) -> None:
+            target = engine.time_seconds + (until - engine.time_seconds)
+            while engine.time_seconds < target - 1e-12:
+                engine.run_epoch()
+                if progress is not None and engine.stats.epochs % 64 == 0:
+                    emit()
+
+        active_factors: List[List[float]] = [[] for _ in self._scenarios]
+        for when, entries in sorted(boundaries.items()):
+            advance(when)
+            for s, action in entries:
+                scenario = self._scenarios[s]
+                first = machine_offset[s]
+                fleet = range(first, first + scenario.machines)
+                if action.kind == "burst-open":
+                    burst = _BurstState(
+                        fault=action.fault,
+                        end_seconds=action.window[1],
+                        mixers={
+                            machine: self._burst_mixer(
+                                scenario, action.fault, machine - first
+                            )
+                            for machine in fleet
+                        },
+                        scenario_index=s,
+                    )
+                    for machine in fleet:
+                        for _ in range(action.fault.count):
+                            index = engine.submit(
+                                burst.mixers[machine].next(), machine=machine
+                            )
+                            burst_of[index] = burst
+                            fault_counters[s].count_burst_submit(action.fault.type)
+                else:
+                    if action.kind == "throttle-open":
+                        active_factors[s].append(action.fault.factor)
+                    else:
+                        active_factors[s].remove(action.fault.factor)
+                    engine.set_frequency_scale(
+                        fleet, _throttle_scale(active_factors[s])
+                    )
+        advance(self._horizon)
+        emit(done=True)
+
     # ------------------------------------------------------------------ #
     # Scalar backend: the fast-path engine, machine by machine
     # ------------------------------------------------------------------ #
-    def _run_scalar(self) -> List[ScenarioResult]:
+    def _run_scalar(
+        self, progress: Optional[ProgressCallback] = None
+    ) -> List[ScenarioResult]:
         spec = self._machine
         results: List[ScenarioResult] = []
+        epochs_per_machine = int(round(self._horizon / self._epoch_seconds))
+        epochs_total = epochs_per_machine * sum(s.machines for s in self._scenarios)
+        epochs_done = 0
+        completions_total = 0
+        submissions_total = 0
+        ledgers: List[Optional[MeteringLedger]] = []
+        all_counters: List[Optional[FaultCounters]] = []
         for scenario in self._scenarios:
             cores = scenario.cores(spec)
             submitted = 0
             completed = 0
             instructions = cycles = stall = l3 = 0.0
+            boundaries = _fault_boundaries(scenario.faults, self._horizon)
+            ledger = MeteringLedger() if self._scenario_metered(scenario) else None
+            fault_counters = FaultCounters() if scenario.faults else None
+            if fault_counters is not None:
+                fault_counters.throttled_machine_epochs = (
+                    self._nominal_throttled_epochs(scenario)
+                )
+            ledgers.append(ledger)
+            all_counters.append(fault_counters)
             for machine in range(scenario.machines):
                 mixer = self._make_mixer(scenario, machine)
+                injector = (
+                    None if ledger is None else self._meter_injector(scenario, machine)
+                )
                 engine = SimulationEngine(
                     CPU(spec),
                     LeastOccupancyScheduler(),
@@ -442,13 +846,64 @@ class FleetSweep:
                         engine.submit(mixer.next(), thread_id=thread)
                         counts["submitted"] += 1
 
-                def on_finish(invocation, eng, mixer=mixer, counts=counts):
+                def on_finish(
+                    invocation,
+                    eng,
+                    mixer=mixer,
+                    counts=counts,
+                    ledger=ledger,
+                    injector=injector,
+                ):
+                    if invocation.role() == FAULT_ROLE:
+                        return  # burst co-runner: its own driver resubmits
+                    if ledger is not None:
+                        ledger.observe(
+                            invocation.spec.abbreviation,
+                            invocation.spec.memory_gb,
+                            invocation.occupied_seconds,
+                            injector.copies() if injector is not None else 1,
+                        )
                     counts["completed"] += 1
                     eng.submit(mixer.next(), thread_id=invocation.thread_id)
                     counts["submitted"] += 1
 
                 engine.add_finish_listener(on_finish)
-                engine.run_for(self._horizon)
+                if not boundaries:
+                    engine.run_for(self._horizon)
+                else:
+                    bursts: List[Tuple[FaultSpec, WindowedBurst]] = []
+                    active_factors: List[float] = []
+                    for when, actions in boundaries:
+                        delta = when - engine.time_seconds
+                        if delta > 0:
+                            engine.run_for(delta)
+                        for action in actions:
+                            if action.kind == "burst-open":
+                                burst = WindowedBurst(
+                                    self._burst_mixer(scenario, action.fault, machine),
+                                    action.fault.count,
+                                    action.window[1],
+                                )
+                                burst.attach(engine)
+                                bursts.append((action.fault, burst))
+                            else:
+                                if action.kind == "throttle-open":
+                                    active_factors.append(action.fault.factor)
+                                else:
+                                    active_factors.remove(action.fault.factor)
+                                engine.set_frequency_scale(
+                                    _throttle_scale(active_factors)
+                                )
+                    delta = self._horizon - engine.time_seconds
+                    if delta > 0:
+                        engine.run_for(delta)
+                    for fault, burst in bursts:
+                        fault_counters.count_burst_submit(
+                            fault.type, burst.launched_count
+                        )
+                        fault_counters.count_burst_finish(
+                            fault.type, burst.completed_count
+                        )
                 submitted += counts["submitted"]
                 completed += counts["completed"]
                 counters = engine.cpu.global_counters
@@ -456,6 +911,23 @@ class FleetSweep:
                 cycles += counters.cycles
                 stall += counters.stall_cycles_l2_miss
                 l3 += counters.l3_misses
+                epochs_done += epochs_per_machine
+                if progress is not None:
+                    progress(
+                        self._progress_payload(
+                            "scalar",
+                            scenarios_done=len(results),
+                            epochs_done=epochs_done,
+                            epochs_total=epochs_total,
+                            completions=completions_total + completed,
+                            submissions=submissions_total + submitted,
+                            counters=all_counters,
+                            ledgers=ledgers,
+                        )
+                    )
+            completions_total += completed
+            submissions_total += submitted
+            self._fill_meter_counts(fault_counters, ledger)
             results.append(
                 ScenarioResult(
                     name=scenario.name,
@@ -470,6 +942,24 @@ class FleetSweep:
                     cycles=cycles,
                     stall_cycles=stall,
                     l3_misses=l3,
+                    billing=None if ledger is None else ledger.freeze(),
+                    fault_stats=(
+                        None if fault_counters is None else fault_counters.freeze()
+                    ),
+                )
+            )
+        if progress is not None:
+            progress(
+                self._progress_payload(
+                    "scalar",
+                    scenarios_done=len(results),
+                    epochs_done=epochs_done,
+                    epochs_total=epochs_total,
+                    completions=completions_total,
+                    submissions=submissions_total,
+                    counters=all_counters,
+                    ledgers=ledgers,
+                    done=True,
                 )
             )
         return results

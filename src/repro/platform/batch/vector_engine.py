@@ -299,6 +299,9 @@ class VectorEngine:
         self._governor = FrequencyGovernor(machine=machine, policy=frequency_policy)
         self._turbo_cache: Dict[int, float] = {}
         self._fixed_frequency = np.full(machines, machine.base_frequency_ghz * 1e9)
+        # Fault-injection hook: per-machine frequency multiplier.  ``None``
+        # (every machine healthy) keeps the fault-free path untouched.
+        self._freq_scale: Optional[np.ndarray] = None
 
         # Per-machine accumulators (the machine-wide PMU view).
         m = machines
@@ -394,6 +397,47 @@ class VectorEngine:
             context_switches=float(self._m_counters["context_switches"][machine]),
             elapsed_seconds=float(self._m_elapsed[machine]),
         )
+
+    def set_frequency_scale(self, machines, scale: float) -> None:
+        """Scale selected machines' operating frequency from now on.
+
+        The ``freq-throttle`` fault hook: ``machines`` is one machine index
+        or an iterable of them, ``scale`` the multiplier applied on top of
+        the governed (fixed or turbo) frequency.  Restoring every machine
+        to 1.0 drops the scale array entirely, so a healthy fleet pays
+        nothing — and unthrottled machines are untouched even while others
+        are throttled (``x * 1.0`` is exact in IEEE-754).
+        """
+        if scale <= 0:
+            raise ValueError("frequency scale must be positive")
+        if isinstance(machines, int):
+            machines = (machines,)
+        if self._freq_scale is None:
+            if scale == 1.0:
+                return
+            self._freq_scale = np.ones(self._machines)
+        for machine in machines:
+            if not 0 <= machine < self._machines:
+                raise ValueError(f"machine index {machine} out of range")
+            self._freq_scale[machine] = scale
+        if (self._freq_scale == 1.0).all():
+            self._freq_scale = None
+
+    def invocation_spec(self, index: int) -> FunctionSpec:
+        """The function spec of a tracked invocation, by index.
+
+        Valid while the invocation's column is live — including inside
+        finish listeners, which fire before the column is recycled.
+        """
+        return self._specs.specs[int(self.spec_idx[index])]
+
+    def invocation_elapsed_seconds(self, index: int) -> float:
+        """Seconds a tracked invocation has occupied its processor.
+
+        The metering pipeline's per-completion reading: same validity
+        window as :meth:`invocation_spec`.
+        """
+        return float(self._ctr[6, index])
 
     def add_finish_listener(self, listener: VectorFinishListener) -> None:
         """Register a completion callback (handle-or-index, engine).
@@ -588,6 +632,8 @@ class VectorEngine:
         scalar engine).
         """
         if self._frequency_policy is FrequencyPolicy.FIXED:
+            if self._freq_scale is not None:
+                return self._fixed_frequency * self._freq_scale
             return self._fixed_frequency
         freqs = np.empty(self._machines)
         for m, busy in enumerate(busy_threads.tolist()):
@@ -596,6 +642,8 @@ class VectorEngine:
                 cached = self._governor.frequency_hz(busy)
                 self._turbo_cache[busy] = cached
             freqs[m] = cached
+        if self._freq_scale is not None:
+            freqs *= self._freq_scale
         return freqs
 
     def run_epoch(self) -> None:

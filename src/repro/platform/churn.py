@@ -10,10 +10,11 @@ invocations completes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Set
 
+from repro.platform.faults import FAULT_ROLE
 from repro.platform.invoker import Invocation
-from repro.workloads.synthetic import WorkloadMixer
+from repro.workloads.synthetic import Mixer, WorkloadMixer
 
 #: Tag value the churn manager stamps on the invocations it owns.
 CHURN_ROLE = "churn"
@@ -83,3 +84,57 @@ class ChurnManager:
             return
         del self._active[invocation.invocation_id]
         self.top_up(engine)
+
+
+class WindowedBurst:
+    """Keeps ``count`` burst co-runners alive until ``end_seconds``.
+
+    The scalar-engine driver behind the ``churn-spike`` and
+    ``noisy-neighbor`` fault types (:mod:`repro.platform.faults`): at
+    :meth:`attach` it launches ``count`` invocations drawn from its mixer
+    (placed by the engine's scheduler) and, whenever one of them finishes
+    before the window closes, launches a replacement.  After the window
+    closes the burst simply drains.  Burst invocations are tagged with
+    ``role=FAULT_ROLE`` so steady-churn listeners and metering skip them.
+    """
+
+    def __init__(self, mixer: Mixer, count: int, end_seconds: float) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self._mixer = mixer
+        self._count = count
+        self._end_seconds = end_seconds
+        self._active: Set[int] = set()
+        self._launched = 0
+        self._completed = 0
+
+    @property
+    def launched_count(self) -> int:
+        return self._launched
+
+    @property
+    def completed_count(self) -> int:
+        return self._completed
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def attach(self, engine: "SimulationEngine") -> None:  # noqa: F821
+        """Register with an engine and launch the initial burst."""
+        engine.add_finish_listener(self._on_finish)
+        for _ in range(self._count):
+            self._launch(engine)
+
+    def _launch(self, engine: "SimulationEngine") -> None:  # noqa: F821
+        invocation = engine.submit(self._mixer.next(), tags={"role": FAULT_ROLE})
+        self._active.add(invocation.invocation_id)
+        self._launched += 1
+
+    def _on_finish(self, invocation: Invocation, engine: "SimulationEngine") -> None:  # noqa: F821
+        if invocation.invocation_id not in self._active:
+            return
+        self._active.discard(invocation.invocation_id)
+        self._completed += 1
+        if engine.time_seconds < self._end_seconds:
+            self._launch(engine)

@@ -237,6 +237,9 @@ class SimulationEngine:
         self._last_multipliers: Dict[int, float] = {}
         self._last_penalties: Dict[int, SharedResourcePenalty] = {}
         self._last_frequency_hz = 0.0
+        # Fault-injection hook: multiplies the governed frequency.  1.0 is
+        # the healthy fleet and leaves the arithmetic untouched bit-for-bit.
+        self._frequency_scale = 1.0
         # The thread list is fixed for the CPU's lifetime; multiplying by the
         # SMT sibling penalty is an exact no-op (``x * 1.0``) when SMT is off.
         self._threads = cpu.threads
@@ -307,6 +310,28 @@ class SimulationEngine:
     def add_finish_listener(self, listener: FinishListener) -> None:
         self._finish_listeners.append(listener)
 
+    @property
+    def frequency_scale(self) -> float:
+        """Current fault-injection frequency multiplier (1.0 = healthy)."""
+        return self._frequency_scale
+
+    def set_frequency_scale(self, scale: float) -> None:
+        """Throttle (or restore) the machine's clock from now on.
+
+        The ``freq-throttle`` fault hook: every subsequent epoch multiplies
+        the governed frequency by ``scale``.  Changing the scale invalidates
+        the fast-path caches — memoized penalty signatures and the pending
+        stable span both bake in the old frequency, so replaying them would
+        no longer be bit-exact against plain stepping.
+        """
+        if scale <= 0:
+            raise ValueError("frequency scale must be positive")
+        if scale == self._frequency_scale:
+            return
+        self._frequency_scale = scale
+        self._span_ready = False
+        self._signature_cache.invalidate()
+
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
@@ -370,6 +395,8 @@ class SimulationEngine:
         # ``busy_threads`` (threads with a non-empty run queue) is exactly
         # ``CPU.active_thread_count`` — counted here to avoid a second scan.
         frequency_hz = self._cpu.governor.frequency_hz(busy_threads)
+        if self._frequency_scale != 1.0:
+            frequency_hz = frequency_hz * self._frequency_scale
         if fast and not self._smt_active:
             switch_factor = self._switch_factor
             multipliers = {

@@ -11,11 +11,22 @@ Litmus pricing needs two measurement windows per invocation:
 Both are expressed here as value objects derived from an
 :class:`repro.platform.invoker.Invocation`'s counters, mirroring how the
 paper derives them from ``perf`` counter reads at phase boundaries.
+
+The tail of the module is the *billing* side of metering: a
+:class:`MeteringLedger` accumulates per-tenant GB-second charges from
+completion events, and a :class:`MeterFaultInjector` models a lossy
+delivery pipeline (each event independently dropped or double-delivered
+with a seeded probability — the ``meter-drop`` / ``meter-dup`` fault
+types of :mod:`repro.platform.faults`).  The ledger tracks the *true*
+charge alongside the *billed* one, so a sweep can report exactly how much
+billing error a metering fault introduces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from repro.hardware.pmu import CounterSnapshot
 from repro.platform.invoker import Invocation
@@ -143,3 +154,139 @@ def measure_startup(invocation: Invocation) -> StartupMeasurement:
         wall_seconds=wall_seconds,
         machine_l3_misses=machine_delta.l3_misses,
     )
+
+
+@dataclass(frozen=True)
+class TenantBilling:
+    """Frozen per-tenant billing outcome of one scenario's metering stream.
+
+    ``true_gb_seconds`` is what a perfect pipeline would have charged each
+    function (tenant); ``billed_gb_seconds`` is what the possibly-faulty
+    pipeline actually charged.  Both are sorted ``(function, gb_seconds)``
+    tuples so the object is hashable, picklable, and bit-comparable across
+    shard merges.
+    """
+
+    true_gb_seconds: Tuple[Tuple[str, float], ...] = ()
+    billed_gb_seconds: Tuple[Tuple[str, float], ...] = ()
+    events: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+
+    @property
+    def true_total(self) -> float:
+        return sum(v for _, v in self.true_gb_seconds)
+
+    @property
+    def billed_total(self) -> float:
+        return sum(v for _, v in self.billed_gb_seconds)
+
+    @property
+    def billing_error_fraction(self) -> float:
+        """Signed relative billing error: ``(billed - true) / true``."""
+        true = self.true_total
+        if true <= 0:
+            return 0.0
+        return (self.billed_total - true) / true
+
+    def per_tenant_error(self) -> Dict[str, float]:
+        """Signed relative billing error per function, by abbreviation."""
+        true = dict(self.true_gb_seconds)
+        billed = dict(self.billed_gb_seconds)
+        errors: Dict[str, float] = {}
+        for function, charge in true.items():
+            if charge <= 0:
+                continue
+            errors[function] = (billed.get(function, 0.0) - charge) / charge
+        return errors
+
+
+class MeterFaultInjector:
+    """Seeded drop/duplicate perturbation of one metering stream.
+
+    One injector serves one machine's completion stream: decisions are
+    drawn from dedicated :class:`random.Random` streams (one per fault
+    kind), so the outcome depends only on the seeds and the order of that
+    machine's own completions — never on co-resident scenarios or shard
+    membership.  A drop consumes the event before duplication is even
+    considered, mirroring a pipeline where the event is lost upstream of
+    the replaying delivery layer.
+    """
+
+    def __init__(
+        self,
+        *,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        drop_seed: int = 0,
+        duplicate_seed: int = 1,
+    ) -> None:
+        for name, p in (
+            ("drop_probability", drop_probability),
+            ("duplicate_probability", duplicate_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        self._drop_probability = drop_probability
+        self._duplicate_probability = duplicate_probability
+        self._drop_rng = random.Random(drop_seed)
+        self._duplicate_rng = random.Random(duplicate_seed)
+
+    def copies(self) -> int:
+        """Delivered copies of the next event: 0 (dropped), 1, or 2."""
+        if self._drop_probability > 0.0:
+            if self._drop_rng.random() < self._drop_probability:
+                return 0
+        if self._duplicate_probability > 0.0:
+            if self._duplicate_rng.random() < self._duplicate_probability:
+                return 2
+        return 1
+
+
+@dataclass
+class MeteringLedger:
+    """Accumulates true vs billed GB-seconds per tenant for one scenario.
+
+    Callers observe each completion with the delivered-copy count decided
+    by the (per-machine) :class:`MeterFaultInjector`; ``copies=1`` is the
+    healthy pipeline.  GB-seconds follow the serverless convention:
+    occupied seconds × configured memory.
+    """
+
+    _true: Dict[str, float] = field(default_factory=dict)
+    _billed: Dict[str, float] = field(default_factory=dict)
+    events: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+
+    def observe(
+        self, function: str, memory_gb: float, occupied_seconds: float, copies: int = 1
+    ) -> None:
+        if copies not in (0, 1, 2):
+            raise ValueError(f"copies must be 0, 1 or 2, got {copies!r}")
+        gb_seconds = memory_gb * occupied_seconds
+        self._true[function] = self._true.get(function, 0.0) + gb_seconds
+        self.events += 1
+        if copies == 0:
+            self.dropped += 1
+            return
+        if copies == 2:
+            self.duplicated += 1
+        self._billed[function] = self._billed.get(function, 0.0) + gb_seconds * copies
+
+    @property
+    def true_total(self) -> float:
+        return sum(self._true.values())
+
+    @property
+    def billed_total(self) -> float:
+        return sum(self._billed.values())
+
+    def freeze(self) -> TenantBilling:
+        return TenantBilling(
+            true_gb_seconds=tuple(sorted(self._true.items())),
+            billed_gb_seconds=tuple(sorted(self._billed.items())),
+            events=self.events,
+            dropped=self.dropped,
+            duplicated=self.duplicated,
+        )

@@ -23,6 +23,11 @@ The spec format is documented with worked examples in
 in ``docs/backends.md``.
 """
 
+from repro.scenarios.faults import (
+    DegradationReport,
+    ScenarioDegradation,
+    parse_faults,
+)
 from repro.scenarios.schema import SpecError
 from repro.scenarios.spec import (
     SPEC_TRAFFIC_POLICIES,
@@ -42,6 +47,9 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "DegradationReport",
+    "ScenarioDegradation",
+    "parse_faults",
     "SpecError",
     "SPEC_TRAFFIC_POLICIES",
     "CompiledSweep",

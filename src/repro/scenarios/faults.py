@@ -1,0 +1,288 @@
+"""The ``[[faults]]`` axis of scenario specs, and degradation reporting.
+
+Parsing follows the same contract as the rest of :mod:`repro.scenarios`:
+every problem raises :class:`~repro.scenarios.schema.SpecError` naming the
+path-qualified offending token (``spec.toml.faults[1].type``) and listing
+the valid choices, so a typo in a chaos spec reads like a CLI usage error
+rather than a traceback.  See ``docs/chaos.md`` for the cookbook.
+
+:class:`DegradationReport` is the other half of the fault axis: given a
+faulted sweep and its faults-stripped baseline it tabulates, per scenario,
+how much throughput and pricing accuracy the declared faults cost.  The
+report is a pure function of the two results (no wall-clock anywhere), so
+two runs of the same seeded spec render identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.platform.batch.sweep import FleetSweepResult
+from repro.platform.faults import FAULT_TYPES, FaultSpec
+from repro.scenarios import schema
+
+#: Keys every fault table accepts.
+_FAULT_COMMON_KEYS = ("type", "scenario")
+
+#: Additional keys per fault type (checked exactly: anything else errors).
+_FAULT_KEYS: Dict[str, Tuple[str, ...]] = {
+    "churn-spike": _FAULT_COMMON_KEYS
+    + ("start_seconds", "duration_seconds", "count", "seed"),
+    "noisy-neighbor": _FAULT_COMMON_KEYS
+    + ("start_seconds", "duration_seconds", "count", "functions", "seed"),
+    "freq-throttle": _FAULT_COMMON_KEYS
+    + ("start_seconds", "duration_seconds", "factor"),
+    "meter-drop": _FAULT_COMMON_KEYS + ("probability", "seed"),
+    "meter-dup": _FAULT_COMMON_KEYS + ("probability", "seed"),
+}
+
+
+def parse_faults(value: Any, path: str) -> Tuple[FaultSpec, ...]:
+    """Validate a decoded ``[[faults]]`` array into typed fault specs.
+
+    ``path`` prefixes every error (``<origin>.faults``).  Each entry must
+    name a known ``type``; the keys it may set depend on that type, and
+    numeric ranges are enforced here so :class:`FaultSpec` construction
+    cannot fail later with a non-path-qualified message.
+    """
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes, Mapping)):
+        schema.fail(path, f"expected an array of fault tables, got {value!r}")
+    faults: List[FaultSpec] = []
+    for position, entry in enumerate(value):
+        entry_path = f"{path}[{position}]"
+        table = schema.as_table(entry, entry_path)
+        fault_type = schema.get_str(table, "type", entry_path, choices=FAULT_TYPES)
+        schema.check_unknown_keys(table, _FAULT_KEYS[fault_type], entry_path)
+        scenario = schema.get_str(table, "scenario", entry_path, default="*")
+        # Distinct default seeds per entry keep two faults of the same type
+        # statistically independent without the spec author doing anything.
+        seed = schema.get_int(table, "seed", entry_path, default=2024 + position)
+        start = 0.0
+        duration: Optional[float] = None
+        count = 0
+        factor = 1.0
+        probability = 0.0
+        functions: Sequence[str] = ()
+        if fault_type in ("churn-spike", "noisy-neighbor", "freq-throttle"):
+            start = schema.get_number(table, "start_seconds", entry_path, default=0.0)
+            if start < 0:
+                schema.fail(
+                    f"{entry_path}.start_seconds",
+                    f"expected a number >= 0, got {start!r}",
+                )
+            duration = schema.get_number(
+                table, "duration_seconds", entry_path, default=None, positive=True
+            )
+        if fault_type in ("churn-spike", "noisy-neighbor"):
+            count = schema.get_int(table, "count", entry_path, minimum=1)
+        if fault_type == "noisy-neighbor":
+            functions = schema.get_str_list(
+                table, "functions", entry_path, default=[]
+            )
+        if fault_type == "freq-throttle":
+            factor = schema.get_number(table, "factor", entry_path, positive=True)
+            if factor > 1.0:
+                schema.fail(
+                    f"{entry_path}.factor",
+                    f"expected a throttle factor in (0, 1], got {factor!r}",
+                )
+        if fault_type in ("meter-drop", "meter-dup"):
+            probability = schema.get_number(table, "probability", entry_path)
+            if not 0.0 <= probability <= 1.0:
+                schema.fail(
+                    f"{entry_path}.probability",
+                    f"expected a probability in [0, 1], got {probability!r}",
+                )
+        faults.append(
+            FaultSpec(
+                type=fault_type,
+                scenario=scenario,
+                start_seconds=start,
+                duration_seconds=duration,
+                count=count,
+                factor=factor,
+                probability=probability,
+                functions=schema.freeze_str(functions),
+                seed=seed,
+            )
+        )
+    return tuple(faults)
+
+
+@dataclass(frozen=True)
+class ScenarioDegradation:
+    """One scenario's faulted outcome against its fault-free baseline."""
+
+    scenario: str
+    fault_types: Tuple[str, ...]
+    baseline_completed: int
+    faulted_completed: int
+    baseline_ipc: float
+    faulted_ipc: float
+    injections: int
+    throttled_machine_epochs: int
+    meter_events: int
+    meter_dropped: int
+    meter_duplicated: int
+    true_gb_seconds: float
+    billed_gb_seconds: float
+
+    @property
+    def completed_delta_fraction(self) -> float:
+        """Signed throughput change: ``(faulted - baseline) / baseline``."""
+        if self.baseline_completed <= 0:
+            return 0.0
+        return (
+            self.faulted_completed - self.baseline_completed
+        ) / self.baseline_completed
+
+    @property
+    def ipc_delta_fraction(self) -> float:
+        if self.baseline_ipc <= 0:
+            return 0.0
+        return (self.faulted_ipc - self.baseline_ipc) / self.baseline_ipc
+
+    @property
+    def billing_error_fraction(self) -> float:
+        """Signed pricing-accuracy error: ``(billed - true) / true``."""
+        if self.true_gb_seconds <= 0:
+            return 0.0
+        return (self.billed_gb_seconds - self.true_gb_seconds) / self.true_gb_seconds
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """Per-scenario degradation of a faulted sweep vs its clean baseline.
+
+    Build with :meth:`build` from two :class:`FleetSweepResult` objects
+    covering the *same grid* — the baseline being the identical scenarios
+    with their faults stripped (what ``python -m repro sweep`` runs
+    automatically for fault-carrying specs).  Only scenarios that declared
+    faults appear as rows.
+    """
+
+    backend: str
+    horizon_seconds: float
+    rows: Tuple[ScenarioDegradation, ...]
+
+    @classmethod
+    def build(
+        cls, baseline: FleetSweepResult, faulted: FleetSweepResult
+    ) -> "DegradationReport":
+        if len(baseline.scenarios) != len(faulted.scenarios):
+            raise ValueError(
+                f"baseline has {len(baseline.scenarios)} scenario(s), "
+                f"faulted has {len(faulted.scenarios)}; the grids must match"
+            )
+        rows: List[ScenarioDegradation] = []
+        for base, fault in zip(baseline.scenarios, faulted.scenarios):
+            if base.name != fault.name:
+                raise ValueError(
+                    f"scenario order mismatch: {base.name!r} vs {fault.name!r}"
+                )
+            stats = fault.fault_stats
+            if stats is None:
+                continue
+            types: List[str] = []
+            if stats.spike_submissions:
+                types.append("churn-spike")
+            if stats.neighbor_submissions:
+                types.append("noisy-neighbor")
+            if stats.throttled_machine_epochs:
+                types.append("freq-throttle")
+            if stats.meter_dropped:
+                types.append("meter-drop")
+            if stats.meter_duplicated:
+                types.append("meter-dup")
+            fault_types: Tuple[str, ...] = tuple(types)
+            billing = fault.billing
+            rows.append(
+                ScenarioDegradation(
+                    scenario=fault.name,
+                    fault_types=fault_types,
+                    baseline_completed=base.completed,
+                    faulted_completed=fault.completed,
+                    baseline_ipc=base.ipc,
+                    faulted_ipc=fault.ipc,
+                    injections=stats.injections,
+                    throttled_machine_epochs=stats.throttled_machine_epochs,
+                    meter_events=stats.meter_events,
+                    meter_dropped=stats.meter_dropped,
+                    meter_duplicated=stats.meter_duplicated,
+                    true_gb_seconds=0.0 if billing is None else billing.true_total,
+                    billed_gb_seconds=0.0 if billing is None else billing.billed_total,
+                )
+            )
+        return cls(
+            backend=faulted.backend,
+            horizon_seconds=faulted.horizon_seconds,
+            rows=tuple(rows),
+        )
+
+    def render(self) -> str:
+        """An aligned text table (see docs/chaos.md for how to read it)."""
+        if not self.rows:
+            return "Degradation report: no faulted scenarios"
+        table_rows = [
+            {
+                "scenario": row.scenario,
+                "faults": ",".join(row.fault_types) or "-",
+                "completed": f"{row.baseline_completed}->{row.faulted_completed}",
+                "d_completed%": 100.0 * row.completed_delta_fraction,
+                "d_ipc%": 100.0 * row.ipc_delta_fraction,
+                "injected": row.injections,
+                "throttled": row.throttled_machine_epochs,
+                "dropped": row.meter_dropped,
+                "duped": row.meter_duplicated,
+                "bill_err%": 100.0 * row.billing_error_fraction,
+            }
+            for row in self.rows
+        ]
+        return format_table(
+            table_rows,
+            columns=(
+                "scenario",
+                "faults",
+                "completed",
+                "d_completed%",
+                "d_ipc%",
+                "injected",
+                "throttled",
+                "dropped",
+                "duped",
+                "bill_err%",
+            ),
+            title=(
+                f"Degradation report [{self.backend}] vs fault-free baseline, "
+                f"{self.horizon_seconds:g}s horizon"
+            ),
+            float_format="{:+.2f}",
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (recorded into BENCH_engine.json run extras)."""
+        return {
+            "backend": self.backend,
+            "horizon_seconds": self.horizon_seconds,
+            "scenarios": [
+                {
+                    "scenario": row.scenario,
+                    "faults": list(row.fault_types),
+                    "baseline_completed": row.baseline_completed,
+                    "faulted_completed": row.faulted_completed,
+                    "completed_delta_fraction": row.completed_delta_fraction,
+                    "ipc_delta_fraction": row.ipc_delta_fraction,
+                    "injections": row.injections,
+                    "throttled_machine_epochs": row.throttled_machine_epochs,
+                    "meter_events": row.meter_events,
+                    "meter_dropped": row.meter_dropped,
+                    "meter_duplicated": row.meter_duplicated,
+                    "true_gb_seconds": row.true_gb_seconds,
+                    "billed_gb_seconds": row.billed_gb_seconds,
+                    "billing_error_fraction": row.billing_error_fraction,
+                }
+                for row in self.rows
+            ],
+        }

@@ -48,7 +48,7 @@ Named presets ship inside the package (``repro/scenarios/presets/*.toml``);
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -63,8 +63,11 @@ from repro.platform.batch.sweep import (
     NAMED_MIXES,
     FleetScenario,
     FleetSweep,
+    resolve_mix,
 )
+from repro.platform.faults import FaultSpec, faults_for_scenario
 from repro.scenarios import schema
+from repro.scenarios.faults import parse_faults
 from repro.scenarios.schema import SpecError
 from repro.workloads.registry import FunctionRegistry, default_registry
 from repro.workloads.synthetic import TrafficModel
@@ -74,7 +77,7 @@ from repro.workloads.synthetic import TrafficModel
 #: which implies the weighted policy for scenarios using that mix.
 SPEC_TRAFFIC_POLICIES = ("uniform", "round-robin", "trace")
 
-_TOP_LEVEL_KEYS = ("name", "description", "sweep", "grid", "traffic", "mixes")
+_TOP_LEVEL_KEYS = ("name", "description", "sweep", "grid", "traffic", "mixes", "faults")
 _SWEEP_KEYS = (
     "horizon_seconds",
     "epoch_seconds",
@@ -128,6 +131,9 @@ class ScenarioSpec:
     trace: Tuple[str, ...] = ()
     #: Custom ``[mixes.*]`` definitions, usable from :attr:`mixes`.
     mix_definitions: Tuple[MixDef, ...] = ()
+    #: Declared ``[[faults]]``, applied to matching scenarios at expansion
+    #: (see docs/chaos.md).  Empty = healthy fleet.
+    faults: Tuple[FaultSpec, ...] = ()
 
     @property
     def grid_size(self) -> int:
@@ -231,6 +237,15 @@ def parse_spec(document: Mapping[str, Any], *, origin: str = "<spec>") -> Scenar
             f"defined but never used in grid.mixes: {', '.join(unused)}",
         )
 
+    faults = parse_faults(top.get("faults", []), f"{origin}.faults")
+    for position, fault in enumerate(faults):
+        if fault.start_seconds >= horizon:
+            schema.fail(
+                f"{origin}.faults[{position}].start_seconds",
+                f"fault starts at {fault.start_seconds:g}s but the sweep "
+                f"horizon is {horizon:g}s",
+            )
+
     return ScenarioSpec(
         name=name,
         description=description,
@@ -248,6 +263,7 @@ def parse_spec(document: Mapping[str, Any], *, origin: str = "<spec>") -> Scenar
         traffic_policy=policy,
         trace=schema.freeze_str(trace),
         mix_definitions=tuple(mix_definitions),
+        faults=faults,
     )
 
 
@@ -327,15 +343,17 @@ def expand_grid(spec: ScenarioSpec) -> List[FleetScenario]:
         traffic = _traffic_for(spec, mix, defs)
         for machines in spec.machines:
             for colocation in spec.colocations:
+                name = f"{mix}-m{machines}-c{colocation}"
                 scenarios.append(
                     FleetScenario(
-                        name=f"{mix}-m{machines}-c{colocation}",
+                        name=name,
                         mix=mix,
                         machines=machines,
                         colocation=colocation,
                         cores_per_machine=spec.cores_per_machine,
                         seed=spec.seed,
                         traffic=traffic,
+                        faults=faults_for_scenario(spec.faults, name),
                     )
                 )
     return scenarios
@@ -363,7 +381,21 @@ class CompiledSweep:
         """Concurrent invocations across the whole grid."""
         return sum(s.fleet_size(self.machine) for s in self.scenarios)
 
-    def sweep(self) -> FleetSweep:
+    @property
+    def has_faults(self) -> bool:
+        """Whether any expanded scenario carries a declared fault."""
+        return any(s.faults for s in self.scenarios)
+
+    def without_faults(self) -> "CompiledSweep":
+        """The same compiled grid with every fault stripped.
+
+        This is the *baseline* the degradation report compares against:
+        identical scenarios, seeds and traffic, healthy fleet.
+        """
+        stripped = tuple(replace(s, faults=()) for s in self.scenarios)
+        return replace(self, scenarios=stripped)
+
+    def sweep(self, *, meter: bool = False) -> FleetSweep:
         """The equivalent single-process :class:`FleetSweep`."""
         return FleetSweep(
             self.scenarios,
@@ -372,6 +404,7 @@ class CompiledSweep:
             epoch_seconds=self.spec.epoch_seconds,
             registry=self.registry,
             registry_scale=self.spec.registry_scale,
+            meter=meter,
         )
 
     def run(
@@ -380,12 +413,18 @@ class CompiledSweep:
         *,
         shards: Optional[int] = None,
         max_workers: Optional[int] = None,
+        meter: bool = False,
+        metrics_queue: Optional[object] = None,
+        metrics_interval: float = 0.5,
+        metrics_label: str = "",
     ) -> ShardedSweepResult:
         """Execute the compiled grid, partitioned over ``shards`` workers.
 
         ``backend``/``shards`` default to the spec's ``[sweep]`` values.
         Results are independent of the shard count (see
-        :func:`repro.platform.batch.run_sharded`).
+        :func:`repro.platform.batch.run_sharded`).  ``metrics_queue`` (a
+        multiprocessing queue) turns on live progress snapshots — see
+        :mod:`repro.obs` and docs/observability.md.
         """
         return run_sharded(
             self.scenarios,
@@ -397,6 +436,10 @@ class CompiledSweep:
             registry_scale=self.spec.registry_scale,
             registry=self.registry,
             max_workers=max_workers,
+            meter=meter,
+            metrics_queue=metrics_queue,
+            metrics_interval=metrics_interval,
+            metrics_label=metrics_label,
         )
 
 
@@ -428,6 +471,21 @@ def compile_spec(
     except (ValueError, KeyError) as error:
         message = error.args[0] if error.args else error
         raise SpecError(f"{spec.name}: {message}") from None
+    names = [s.name for s in scenarios]
+    for position, fault in enumerate(spec.faults):
+        if not any(fault.matches(name) for name in names):
+            known = ", ".join(names)
+            raise SpecError(
+                f"{spec.name}: faults[{position}].scenario: pattern "
+                f"{fault.scenario!r} matches no scenario; scenarios: {known}"
+            )
+        if fault.type == "noisy-neighbor" and fault.functions:
+            try:
+                resolve_mix("+".join(fault.functions), registry or default_registry())
+            except ValueError as error:
+                raise SpecError(
+                    f"{spec.name}: faults[{position}].functions: {error}"
+                ) from None
     return CompiledSweep(
         spec=spec, scenarios=tuple(scenarios), machine=machine, registry=registry
     )
@@ -479,6 +537,17 @@ _SPEC_SCHEMA_DOC: Dict[str, Tuple[str, ...]] = {
     "grid": _GRID_KEYS,
     "traffic": _TRAFFIC_KEYS,
     "mixes.<name>": _MIX_KEYS,
+    "faults[]": (
+        "type (churn-spike|noisy-neighbor|freq-throttle|meter-drop|meter-dup)",
+        "scenario",
+        "start_seconds",
+        "duration_seconds",
+        "count",
+        "factor",
+        "probability",
+        "functions",
+        "seed",
+    ),
 }
 
 

@@ -14,7 +14,13 @@ ROOT = Path(__file__).resolve().parent.parent
 
 
 def test_docs_pages_exist():
-    for page in ("architecture.md", "backends.md", "scenarios.md"):
+    for page in (
+        "architecture.md",
+        "backends.md",
+        "scenarios.md",
+        "chaos.md",
+        "observability.md",
+    ):
         assert (ROOT / "docs" / page).is_file(), f"missing docs/{page}"
 
 

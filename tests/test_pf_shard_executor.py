@@ -127,6 +127,37 @@ class TestShardMergeEquivalence:
         assert names == sorted(s.name for s in grid)
         assert all(t.wall_seconds > 0 for t in sharded.shard_timings)
 
+    def test_metered_sharded_matches_single_process(self):
+        """meter=True must not perturb the sweep, and billing merges exactly."""
+        grid = tiny_grid()
+        plain = FleetSweep(grid, **TINY).run("vector")
+        single = FleetSweep(grid, meter=True, **TINY).run("vector")
+        sharded = run_sharded(grid, shards=2, backend="vector", meter=True, **TINY)
+        self.assert_merged_identical(plain, sharded)
+        for a, b in zip(single.scenarios, sharded.result.scenarios):
+            assert a.billing is not None
+            assert a.billing == b.billing  # frozen sorted tuples: bit-comparable
+            assert a.billing.billed_total == a.billing.true_total
+
+    def test_chaos_preset_sharded_matches_inline(self):
+        """With the fault axis on, sharding still cannot change any number."""
+        compiled = compile_spec(load_preset("chaos-smoke"))
+        inline = compiled.run(shards=1, meter=True)
+        sharded = compiled.run(shards=2, meter=True)
+        assert sharded.shards == 2
+        self.assert_merged_identical(inline.result, sharded)
+        for a, b in zip(inline.result.scenarios, sharded.result.scenarios):
+            assert a.billing == b.billing
+            assert a.fault_stats == b.fault_stats
+            assert a.fault_stats is not None and not a.fault_stats.empty
+
+    def test_faults_stripped_matches_fault_free(self):
+        """A chaos spec with faults removed reproduces the clean sweep bit-exact."""
+        compiled = compile_spec(load_preset("chaos-smoke"))
+        stripped = compiled.without_faults().run(shards=2)
+        clean = compiled.without_faults().sweep().run("vector")
+        self.assert_merged_identical(clean, stripped)
+
 
 class TestCLISpecPath:
     def test_sweep_spec_shards_cli(self, tmp_path, capsys):
@@ -185,3 +216,63 @@ class TestCLISpecPath:
         code = main(["sweep", "--spec", "not-a-preset", "--no-bench"])
         assert code == 2
         assert "smoke" in capsys.readouterr().err
+
+    def test_bad_fault_type_in_spec_file_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            'name = "bad"\n[grid]\nmixes = ["all"]\n'
+            '[[faults]]\ntype = "churn-spiky"\ncount = 2\n',
+            encoding="utf-8",
+        )
+        code = main(["sweep", "--spec", str(bad), "--no-bench"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "faults[0].type" in err
+        assert "'churn-spiky'" in err and "churn-spike" in err
+
+    def test_compare_rejected_for_faulted_spec(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--spec", "chaos-smoke", "--compare", "--no-bench"])
+        assert code == 2
+        assert "--compare" in capsys.readouterr().err
+
+    def test_chaos_spec_cli_reports_degradation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bench = tmp_path / "bench.json"
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--spec",
+                "chaos-smoke",
+                "--shards",
+                "2",
+                "--metrics-out",
+                str(metrics),
+                "--bench-json",
+                str(bench),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Degradation report" in captured.out
+        assert "bill_err%" in captured.out
+        import json
+
+        document = json.loads(bench.read_text(encoding="utf-8"))
+        (record,) = document["runs"]
+        assert record["spec"] == "chaos-smoke"
+        report = record["fault_report"]
+        assert {row["scenario"] for row in report["scenarios"]} == {
+            "all-m1-c2",
+            "all-m2-c2",
+        }
+        assert record["metrics"]["snapshots"] >= 1
+        lines = metrics.read_text(encoding="utf-8").splitlines()
+        snapshots = [json.loads(line) for line in lines]
+        assert any(s["done"] for s in snapshots)
+        assert all(s["shard"].split(":")[0] in ("base", "fault") for s in snapshots)
