@@ -14,6 +14,9 @@ Usage examples::
     python -m repro sweep --spec smoke --shards 2        # declarative spec, sharded
     python -m repro sweep --spec studies/big.toml --shards 8
     python -m repro sweep --spec chaos-smoke --shards 2 --metrics   # fault axis + live metrics
+    python -m repro stream --spec smoke --verify         # streaming replay, batch-checked
+    python -m repro stream --spec smoke --checkpoint-dir .ckpt --max-chunks 2
+    python -m repro stream --spec smoke --checkpoint-dir .ckpt      # ...resumes
 
 Single-figure runs print the regenerated rows; sweep runs (``--figures``)
 write every figure to the results directory, append per-figure wall-clock to
@@ -432,6 +435,242 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compare_stream_to_batch(stream_result, batch_result) -> list:
+    """Field-by-field bit-exactness check; returns mismatch descriptions."""
+    mismatches = []
+    stream_by_name = {s.name: s for s in stream_result.scenarios}
+    for batch in batch_result.scenarios:
+        streamed = stream_by_name.get(batch.name)
+        if streamed is None:
+            mismatches.append(f"{batch.name}: missing from streamed result")
+            continue
+        for field in (
+            "submitted",
+            "completed",
+            "instructions",
+            "cycles",
+            "stall_cycles",
+            "l3_misses",
+            "billing",
+            "fault_stats",
+        ):
+            expected = getattr(batch, field)
+            actual = getattr(streamed, field)
+            if actual != expected:
+                mismatches.append(
+                    f"{batch.name}.{field}: stream={actual!r} batch={expected!r}"
+                )
+    return mismatches
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro import benchlog, diskcache
+    from repro.scenarios import (
+        SpecError,
+        chunk_plan,
+        compile_spec,
+        load_spec_or_preset,
+    )
+    from repro.serve import (
+        CheckpointError,
+        StreamPipeline,
+        StreamReplay,
+        checkpoint_path,
+        load_checkpoint,
+    )
+
+    if args.chunk_epochs < 1:
+        print("--chunk-epochs must be >= 1", file=sys.stderr)
+        return 2
+    if args.checkpoint_every < 1:
+        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_chunks is not None and args.max_chunks < 1:
+        print("--max-chunks must be >= 1", file=sys.stderr)
+        return 2
+    if args.queue_depth < 1:
+        print("--queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    if args.verify and args.max_chunks is not None:
+        print(
+            "--verify needs the full horizon; it cannot be combined with "
+            "--max-chunks (resume the run to completion first)",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        spec = load_spec_or_preset(args.spec)
+        compiled = compile_spec(spec)
+    except SpecError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    fingerprint = diskcache.fingerprint(spec)
+    ckpt_file = None
+    replay = None
+    resumed = False
+    if args.checkpoint_dir is not None:
+        ckpt_file = checkpoint_path(Path(args.checkpoint_dir), fingerprint)
+        if ckpt_file.exists():
+            try:
+                replay = load_checkpoint(ckpt_file, expect_fingerprint=fingerprint)
+            except CheckpointError as error:
+                print(error, file=sys.stderr)
+                return 2
+            resumed = True
+    if replay is None:
+        replay = StreamReplay(compiled)
+
+    # Chunks pace the replay but never change it, so a resumed run may
+    # re-chunk the remaining epochs with any --chunk-epochs: the partition
+    # is rebuilt over what is left, not sliced out of the original plan.
+    remaining_epochs = max(replay.epochs_total - replay.epochs_done, 0)
+    plan = (
+        chunk_plan(remaining_epochs, args.chunk_epochs) if remaining_epochs else []
+    )
+    print(
+        f"stream replay: spec {spec.name!r}, {replay.epochs_total} epochs, "
+        f"{len(plan)} chunk(s) of {args.chunk_epochs}"
+        + (
+            f" [resumed at epoch {replay.epochs_done}, "
+            f"chunk {replay.chunks_ingested}]"
+            if resumed
+            else ""
+        ),
+        flush=True,
+    )
+
+    collector = None
+    metrics_queue = None
+    if args.metrics or args.metrics_out is not None:
+        import queue as _queue
+
+        from repro.obs import MetricsCollector, MetricsEmitter
+
+        metrics_queue = _queue.Queue()
+        collector = MetricsCollector(
+            metrics_queue,
+            stream=sys.stderr,
+            out_path=Path(args.metrics_out) if args.metrics_out else None,
+        ).start()
+        replay.set_progress(MetricsEmitter(metrics_queue, label="stream"))
+
+    writer = None
+    sink = None
+    if args.records_out is not None:
+        from repro.obs import JsonlWriter
+
+        writer = JsonlWriter(Path(args.records_out))
+
+        def sink(result) -> None:
+            for record in result.records:
+                writer.write(record.as_dict())
+
+    start = _time.perf_counter()
+    try:
+        summary = StreamPipeline(
+            replay,
+            plan,
+            publish=sink,
+            queue_depth=args.queue_depth,
+            checkpoint_to=ckpt_file,
+            checkpoint_every=args.checkpoint_every,
+            max_chunks=args.max_chunks,
+            finalize=args.max_chunks is None,
+        ).run()
+    finally:
+        if writer is not None:
+            writer.close()
+        if collector is not None:
+            collector.stop()
+    wall = _time.perf_counter() - start
+
+    result = replay.result()
+    if summary.finished:
+        print(result.render())
+        if ckpt_file is not None and ckpt_file.exists():
+            # The trace is fully replayed and published; a stale checkpoint
+            # would otherwise resume a finished run forever.
+            ckpt_file.unlink()
+            print(f"[checkpoint {ckpt_file} removed: replay complete]")
+    elif ckpt_file is not None:
+        print(
+            f"[stopped after {summary.chunks} chunk(s) at "
+            f"t={summary.time_seconds:g}s; checkpoint at {ckpt_file}]"
+        )
+    print(
+        f"{summary.chunks} chunk(s), {summary.epochs} epoch(s), "
+        f"{summary.records} billing record(s), {summary.completions} "
+        f"completion(s) in {wall:.2f}s wall"
+        + (f" [{summary.checkpoints_written} checkpoint(s)]"
+           if summary.checkpoints_written else "")
+    )
+    if args.records_out is not None:
+        print(f"[billing records appended to {args.records_out}]")
+
+    verified = None
+    if args.verify:
+        batch = compiled.sweep(meter=True).run("vector")
+        mismatches = _compare_stream_to_batch(result, batch)
+        if mismatches:
+            for line in mismatches:
+                print(f"DIVERGED: {line}", file=sys.stderr)
+            print(
+                f"stream replay diverged from the batch sweep in "
+                f"{len(mismatches)} field(s)",
+                file=sys.stderr,
+            )
+            return 1
+        verified = True
+        print("verified: streamed ledgers and counters are bit-exact vs batch")
+
+    if collector is not None:
+        if args.metrics_out:
+            print(f"[metrics written to {args.metrics_out}]")
+
+    if not args.no_bench:
+        billed = sum(
+            s.billing.billed_total for s in result.scenarios if s.billing is not None
+        )
+        true = sum(
+            s.billing.true_total for s in result.scenarios if s.billing is not None
+        )
+        extra = {
+            "spec": spec.name,
+            "fingerprint": fingerprint,
+            "chunk_epochs": args.chunk_epochs,
+            "chunks": summary.chunks,
+            "epochs": summary.epochs,
+            "records": summary.records,
+            "completed": summary.completions,
+            "finished": summary.finished,
+            "resumed": resumed,
+            "checkpoints_written": summary.checkpoints_written,
+            "billed_gb_seconds": round(billed, 6),
+            "true_gb_seconds": round(true, 6),
+        }
+        if verified is not None:
+            extra["verified_bit_exact"] = verified
+        if collector is not None:
+            extra["metrics"] = collector.summary()
+        bench_path = (
+            Path(args.bench_json)
+            if args.bench_json
+            else benchlog.default_path(Path("results"))
+        )
+        written = benchlog.append_run(
+            {"stream-replay": wall},
+            source="stream-replay",
+            path=bench_path,
+            extra=extra,
+        )
+        print(f"[trajectory appended to {written}]")
+    return 0
+
+
 def _command_registry(_: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table
     from repro.workloads.registry import table1_rows
@@ -634,6 +873,98 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --metrics)",
     )
     sweep_parser.set_defaults(handler=_command_sweep)
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="replay a scenario spec incrementally, streaming billing records",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "The streaming service ingests the spec's trace chunk-by-chunk\n"
+            "and emits per-tenant billing deltas as it goes; results are\n"
+            "bit-exact against `python -m repro sweep` for the same spec\n"
+            "(assert it with --verify).  With --checkpoint-dir the replay\n"
+            "checkpoints periodically and auto-resumes from an existing\n"
+            "checkpoint; --max-chunks stops early (checkpointing) so a later\n"
+            "invocation can resume.\n"
+            "Docs: docs/streaming.md (cookbook, checkpoint format,\n"
+            "backpressure knobs), docs/observability.md (--metrics)."
+        ),
+    )
+    stream_parser.add_argument(
+        "--spec",
+        required=True,
+        help="declarative scenario spec: a .toml/.json path or a preset name "
+        "(see docs/scenarios.md)",
+    )
+    stream_parser.add_argument(
+        "--chunk-epochs",
+        type=int,
+        default=32,
+        help="epochs ingested per trace chunk (default: 32; pacing only — "
+        "results are chunk-size independent)",
+    )
+    stream_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for resumable checkpoints; an existing matching "
+        "checkpoint is resumed automatically",
+    )
+    stream_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        help="checkpoint every N chunks when --checkpoint-dir is set "
+        "(default: 8)",
+    )
+    stream_parser.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        help="stop after N chunks (writing a checkpoint when --checkpoint-dir "
+        "is set) instead of running to the horizon",
+    )
+    stream_parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4,
+        help="bounded-queue depth between the ingest/simulate/publish stages "
+        "(default: 4)",
+    )
+    stream_parser.add_argument(
+        "--records-out",
+        default=None,
+        metavar="FILE",
+        help="append every billing record to FILE as JSON lines",
+    )
+    stream_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="after streaming, run the batch sweep and fail (exit 1) unless "
+        "ledgers and counters are bit-exact",
+    )
+    stream_parser.add_argument(
+        "--bench-json",
+        default=None,
+        help="override the BENCH_engine.json trajectory path",
+    )
+    stream_parser.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="skip appending a stream-replay record to BENCH_engine.json",
+    )
+    stream_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="stream live replay progress to stderr (see docs/observability.md)",
+    )
+    stream_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="append every metrics snapshot to FILE as JSON lines "
+        "(implies --metrics)",
+    )
+    stream_parser.set_defaults(handler=_command_stream)
 
     registry_parser = subparsers.add_parser("registry", help="print the workload registry")
     registry_parser.set_defaults(handler=_command_registry)

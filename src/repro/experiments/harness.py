@@ -201,6 +201,85 @@ def calibration_for(config: ExperimentConfig) -> CalibrationResult:
     )
 
 
+#: Figure/table name -> factory for the default ExperimentConfig whose
+#: calibration tables it needs.  Only calibration-dependent jobs appear;
+#: jobs absent from this map simply aren't warmed.  Kept in sync with the
+#: ``config or <factory>()`` defaults in the figure modules (a regression
+#: test cross-checks the distinct-calibration count).
+def _calibration_config_factories() -> Dict[str, Any]:
+    from repro.experiments.config import (
+        heavy_320,
+        icelake_70,
+        one_per_core,
+        sharing_160,
+        sharing_240_reused,
+        smt_160,
+        unfixed_frequency_160,
+    )
+
+    def sharing_method1() -> ExperimentConfig:
+        return sharing_160(PricingMethod.METHOD1)
+
+    def sharing_method2() -> ExperimentConfig:
+        return sharing_160(PricingMethod.METHOD2)
+
+    return {
+        "fig05": one_per_core,
+        "fig07": one_per_core,
+        "fig08": one_per_core,
+        "fig09": one_per_core,
+        "fig10": one_per_core,
+        "fig11": one_per_core,
+        "fig12": one_per_core,
+        "fig13": one_per_core,
+        "fig15": sharing_method1,
+        "fig16": sharing_method2,
+        "fig17": heavy_320,
+        "fig18": unfixed_frequency_160,
+        "fig19": icelake_70,
+        "fig20": sharing_240_reused,
+        "fig21": smt_160,
+        "ablation-rate-split": one_per_core,
+        "ablation-interpolation": one_per_core,
+        "ablation-reference-count": one_per_core,
+    }
+
+
+def calibration_identity(config: ExperimentConfig) -> Tuple[object, ...]:
+    """What makes two configs share one calibration (mirrors the cache key)."""
+    return (
+        config.machine.name,
+        config.calibration_scenario,
+        tuple(sorted(set(config.calibration_levels))),
+        config.epoch_seconds,
+        config.registry_scale,
+    )
+
+
+def warm_shared_calibrations(names: Sequence[str]) -> int:
+    """Calibrate every distinct configuration ``names`` will need, once.
+
+    The parallel figure runner calls this in the parent process *before*
+    fanning jobs out: workers start at the same moment, so on a cold cache
+    each would otherwise redo the same expensive calibration sweeps
+    concurrently (the ``jobs=2`` regression: 137.6s vs ~50s sequential).
+    Warming in the parent persists each calibration to the disk cache
+    exactly once; workers then start warm.  Returns the number of
+    calibrations computed-or-loaded (the distinct-identity count).
+    """
+    factories = _calibration_config_factories()
+    seen: Dict[Tuple[object, ...], ExperimentConfig] = {}
+    for name in names:
+        factory = factories.get(name)
+        if factory is None:
+            continue
+        config = factory()
+        seen.setdefault(calibration_identity(config), config)
+    for config in seen.values():
+        calibration_for(config)
+    return len(seen)
+
+
 def pricing_engine_for(
     config: ExperimentConfig, calibration: Optional[CalibrationResult] = None
 ) -> LitmusPricingEngine:

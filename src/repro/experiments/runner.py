@@ -217,6 +217,7 @@ def run_figures(
     sweep_start = time.perf_counter()
 
     runs: List[FigureRun] = []
+    calibrations_warmed = 0
     if jobs == 1 or len(ordered) <= 1:
         for name in ordered:
             run = _execute_job(name, profile)
@@ -225,6 +226,13 @@ def run_figures(
             if progress is not None:
                 progress(run)
     else:
+        # Warm every distinct calibration in the parent before fanning out:
+        # parallel workers all start cold at the same instant, so without
+        # this each would redo the same expensive calibration sweeps (the
+        # jobs=2 regression — see warm_shared_calibrations).
+        from repro.experiments.harness import warm_shared_calibrations
+
+        calibrations_warmed = warm_shared_calibrations(ordered)
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             pending = {pool.submit(_execute_job, name, profile) for name in ordered}
             while pending:
@@ -289,6 +297,13 @@ def run_figures(
                 "wall_seconds": round(wall, 4),
                 "disk_cache_enabled": diskcache.cache_enabled(),
                 "disk_cache_entries_at_start": cache_entries_start,
+                # Distinct calibrations pre-computed in the parent before
+                # the parallel fan-out (0 for sequential runs).
+                **(
+                    {"calibrations_warmed": calibrations_warmed}
+                    if calibrations_warmed
+                    else {}
+                ),
                 # cProfile inflates per-figure seconds severalfold; the
                 # marker keeps profiled entries from reading as regressions.
                 **({"profiled": True} if profile else {}),

@@ -369,6 +369,21 @@ class FleetSweep:
     def fleet_size(self) -> int:
         return sum(s.fleet_size(self._machine) for s in self._scenarios)
 
+    @property
+    def machine_spec(self) -> MachineSpec:
+        """The hardware description every machine of the fleet shares."""
+        return self._machine
+
+    @property
+    def horizon_seconds(self) -> float:
+        """Simulated duration per scenario."""
+        return self._horizon
+
+    @property
+    def epoch_seconds(self) -> float:
+        """Engine time step."""
+        return self._epoch_seconds
+
     def _mix_pool(self, scenario: FleetScenario) -> List[FunctionSpec]:
         """The scenario's resolved function pool (explicit traffic pool wins)."""
         try:

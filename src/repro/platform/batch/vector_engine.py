@@ -138,6 +138,15 @@ class _SpecTable:
         self._keepalive.append(spec)
         return index
 
+    def __getstate__(self) -> Dict[str, object]:
+        # ``_by_id`` keys on ``id(spec)``; after unpickling every spec is a
+        # new object, so stale ids could alias fresh ones and corrupt the
+        # interning.  Drop the cache — ``intern`` repopulates it lazily via
+        # the hash-based ``_index`` lookup (same indices, same arrays).
+        state = self.__dict__.copy()
+        state["_by_id"] = {}
+        return state
+
     def rebuild(self) -> None:
         if not self._dirty:
             return
@@ -450,6 +459,14 @@ class VectorEngine:
     def thread_occupancy(self, machine: int, thread_id: int) -> int:
         """Invocations co-located on one machine-local hardware thread."""
         return len(self._queues[machine * self._threads_per_machine + thread_id])
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Finish listeners are arbitrary closures over driver state and are
+        # not picklable in general; whoever checkpoints an engine owns
+        # re-attaching its listeners after restore (see ``repro.serve``).
+        state = self.__dict__.copy()
+        state["_finish_listeners"] = []
+        return state
 
     # ------------------------------------------------------------------ #
     # Storage management

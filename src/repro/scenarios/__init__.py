@@ -45,6 +45,7 @@ from repro.scenarios.spec import (
     preset_path,
     schema_summary,
 )
+from repro.scenarios.trace import TraceChunk, chunk_plan, partition_plan
 
 __all__ = [
     "DegradationReport",
@@ -65,4 +66,7 @@ __all__ = [
     "parse_spec_text",
     "preset_path",
     "schema_summary",
+    "TraceChunk",
+    "chunk_plan",
+    "partition_plan",
 ]

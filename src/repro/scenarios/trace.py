@@ -1,0 +1,90 @@
+"""Chunking a compiled sweep's epoch trace for incremental replay.
+
+The streaming service (:mod:`repro.serve`) ingests a sweep's invocation
+trace chunk-by-chunk instead of running the whole horizon in one call.  A
+chunk is purely a *pacing* unit: it names a contiguous run of epochs, and
+the replay advances the engine exactly that many epochs before yielding
+billing records and (optionally) a checkpoint.  Because the underlying
+epoch sequence is identical for every partition, chunking never changes
+results — the differential tests assert bit-exactness for arbitrary
+partitions (see ``tests/test_props_stream.py``).
+
+:func:`chunk_plan` builds the uniform partition the CLI uses;
+:func:`partition_plan` builds an explicit (possibly ragged) partition from
+chunk sizes, which is what the property tests drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One contiguous run of epochs ``[start_epoch, end_epoch)``."""
+
+    index: int
+    start_epoch: int
+    end_epoch: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("index must be >= 0")
+        if self.start_epoch < 0:
+            raise ValueError("start_epoch must be >= 0")
+        if self.end_epoch <= self.start_epoch:
+            raise ValueError("end_epoch must be > start_epoch")
+
+    @property
+    def epochs(self) -> int:
+        """Number of epochs this chunk covers."""
+        return self.end_epoch - self.start_epoch
+
+
+def chunk_plan(total_epochs: int, chunk_epochs: int) -> List[TraceChunk]:
+    """Partition ``total_epochs`` into uniform chunks of ``chunk_epochs``.
+
+    The last chunk is shorter when the division is not exact.  Example::
+
+        >>> from repro.scenarios.trace import chunk_plan
+        >>> [c.epochs for c in chunk_plan(10, 4)]
+        [4, 4, 2]
+    """
+    if total_epochs < 1:
+        raise ValueError("total_epochs must be >= 1")
+    if chunk_epochs < 1:
+        raise ValueError("chunk_epochs must be >= 1")
+    chunks: List[TraceChunk] = []
+    start = 0
+    while start < total_epochs:
+        end = min(start + chunk_epochs, total_epochs)
+        chunks.append(TraceChunk(index=len(chunks), start_epoch=start, end_epoch=end))
+        start = end
+    return chunks
+
+
+def partition_plan(total_epochs: int, sizes: Sequence[int]) -> List[TraceChunk]:
+    """Partition ``total_epochs`` into explicit chunk ``sizes``.
+
+    The sizes must be positive and sum exactly to ``total_epochs`` — this
+    is the shape the property tests generate to prove partition invariance.
+    """
+    if total_epochs < 1:
+        raise ValueError("total_epochs must be >= 1")
+    if not sizes:
+        raise ValueError("at least one chunk size is required")
+    chunks: List[TraceChunk] = []
+    start = 0
+    for size in sizes:
+        if size < 1:
+            raise ValueError(f"chunk sizes must be >= 1, got {size}")
+        chunks.append(
+            TraceChunk(index=len(chunks), start_epoch=start, end_epoch=start + size)
+        )
+        start += size
+    if start != total_epochs:
+        raise ValueError(
+            f"chunk sizes sum to {start}, expected exactly {total_epochs}"
+        )
+    return chunks

@@ -20,6 +20,7 @@ def test_docs_pages_exist():
         "scenarios.md",
         "chaos.md",
         "observability.md",
+        "streaming.md",
     ):
         assert (ROOT / "docs" / page).is_file(), f"missing docs/{page}"
 

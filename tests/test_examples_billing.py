@@ -1,0 +1,74 @@
+"""Tests for ``examples/tenant_billing_report.py``.
+
+The examples directory is not a package, so the module is loaded from its
+file path.  The invoice arithmetic is checked against a quick price
+evaluation; the streamed-usage section is checked against the batch
+billing ledger it must reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLE = Path(__file__).resolve().parent.parent / "examples" / "tenant_billing_report.py"
+
+
+@pytest.fixture(scope="module")
+def billing_report():
+    spec = importlib.util.spec_from_file_location("tenant_billing_report", EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_invoice_rows_mirror_the_price_evaluation(billing_report, quick_config):
+    from repro.experiments.harness import price_evaluation_cached
+
+    result = price_evaluation_cached(quick_config)
+    rows, totals = billing_report.invoice_rows(result)
+    assert len(rows) == len(result.rows)
+    assert totals["commercial"] == float(len(rows))
+    # Litmus refunds money relative to the commercial charge, so the fleet
+    # total must come in at or under commercial (ideal likewise).
+    assert 0.0 < totals["litmus"] <= totals["commercial"] + 1e-9
+    assert 0.0 < totals["ideal"] <= totals["commercial"] + 1e-9
+    for row, source in zip(rows, result.rows):
+        assert row["function"] == source.function
+        assert row["litmus"] == source.litmus_normalized_price
+        assert row["refund_pct"] == source.litmus_discount * 100.0
+
+
+def test_streamed_usage_matches_batch_billing(billing_report):
+    from repro.scenarios import compile_spec, load_spec_or_preset
+
+    rows, summary = billing_report.streamed_usage("smoke", chunk_epochs=50)
+    assert summary.finished
+    assert summary.records >= len(rows)
+
+    batch = compile_spec(load_spec_or_preset("smoke")).sweep(meter=True).run("vector")
+    expected = {}
+    for scenario in batch.scenarios:
+        billed = dict(scenario.billing.billed_gb_seconds)
+        for function, true_total in scenario.billing.true_gb_seconds:
+            expected[(scenario.name, function)] = (true_total, billed.get(function, 0.0))
+    streamed = {
+        (row["scenario"], row["function"]): (row["true_gb_s"], row["billed_gb_s"])
+        for row in rows
+    }
+    # Functions that never completed produce no records; everything else
+    # must stream to exactly the batch ledger's totals.
+    assert set(streamed) <= set(expected)
+    for key, (true_total, billed_total) in expected.items():
+        got_true, got_billed = streamed.get(key, (0.0, 0.0))
+        assert got_true == pytest.approx(true_total, rel=0, abs=1e-12)
+        assert got_billed == pytest.approx(billed_total, rel=0, abs=1e-12)
+
+
+def test_streamed_usage_rows_are_sorted_and_counted(billing_report):
+    rows, _summary = billing_report.streamed_usage("smoke", chunk_epochs=125)
+    keys = [(row["scenario"], row["function"]) for row in rows]
+    assert keys == sorted(keys)
+    assert all(row["updates"] >= 1 for row in rows)
