@@ -39,6 +39,27 @@ def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
     return sum(v * w for v, w in zip(values, weights)) / total_weight
 
 
+def mape(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Mean absolute percentage error of ``predicted`` against ``actual``.
+
+    The calibration score (see :mod:`repro.calibrate`): each element
+    contributes ``|predicted - actual| / max(|actual|, 1e-12)`` — the
+    denominator floor keeps an exact-zero observation from blowing the
+    mean up to infinity while still punishing any disagreement about it.
+    An identical pair of series scores exactly 0.0.
+    """
+    if len(predicted) != len(actual):
+        raise ValueError(
+            f"mape needs series of equal length, got {len(predicted)} vs {len(actual)}"
+        )
+    if not actual:
+        raise ValueError("mape of empty series is undefined")
+    total = 0.0
+    for guess, truth in zip(predicted, actual):
+        total += abs(guess - truth) / max(abs(truth), 1e-12)
+    return total / len(actual)
+
+
 def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
     """``numerator / denominator`` with an explicit value for a zero denominator."""
     if denominator == 0:

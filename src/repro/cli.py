@@ -671,6 +671,139 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_calibrate(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro import benchlog
+    from repro.calibrate import (
+        CalibrationConfig,
+        ContinuousCalibrator,
+        DriftEvent,
+        DriftInjector,
+        MeasureConfig,
+        ProfileError,
+        calibrate_once,
+        get_param,
+        perturbed,
+        profile_by_name,
+    )
+    from repro.obs import JsonlWriter
+
+    if args.once == args.watch:
+        print("exactly one of --once / --watch is required", file=sys.stderr)
+        return 2
+    if args.points < 2:
+        print("--points must be >= 2", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.rounds < 1:
+        print("--rounds must be >= 1", file=sys.stderr)
+        return 2
+    if len(args.drift_at) != len(args.drift_scale):
+        print(
+            "--drift-at and --drift-scale must be given the same number of times",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        profile = profile_by_name(args.profile)
+        config = CalibrationConfig(
+            parameter=args.param,
+            search_min=args.min,
+            search_max=args.max,
+            linspace_points=args.points,
+            max_parallel_workers=args.workers,
+            mape_window_epochs=args.window,
+            drift_mape_threshold=args.threshold,
+            epochs_per_round=args.epochs_per_round,
+            measure=MeasureConfig(seed=args.seed),
+        )
+        nominal_value = get_param(profile, args.param)
+    except (ProfileError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    writer = JsonlWriter(Path(args.metrics_out)) if args.metrics_out else None
+    show_candidates = args.metrics or args.metrics_out is not None
+
+    def observer(event) -> None:
+        if writer is not None:
+            writer.write(event.to_dict())
+        if event.kind != "candidate" or show_candidates:
+            print(event.render_line(), flush=True)
+
+    republishes = []
+    start = _time.perf_counter()
+    if args.once:
+        truth = perturbed(profile, args.param, args.perturb_scale)
+        print(
+            f"[calibrate] profile {profile.name}: truth fabricated with "
+            f"{args.param} x{args.perturb_scale:g} "
+            f"({nominal_value:g} -> {get_param(truth, args.param):g}); "
+            f"searching {config.linspace_points} candidates"
+        )
+        result = calibrate_once(truth, config, incumbent=profile, observer=observer)
+        results = [result]
+        republishes.append(result)
+    else:
+        events = tuple(
+            DriftEvent(start_seconds=at, path=args.param, scale=scale)
+            for at, scale in zip(args.drift_at, args.drift_scale)
+        )
+        drift = DriftInjector(profile, events) if events else None
+        calibrator = ContinuousCalibrator(
+            profile, config, drift=drift, observer=observer
+        )
+        results = calibrator.run(args.rounds)
+        republishes = [r for r in results if r.drift_detected and r.best is not None]
+    wall = _time.perf_counter() - start
+    if writer is not None:
+        writer.close()
+        print(f"[calibration events written to {args.metrics_out}]")
+
+    last = results[-1]
+    converged = last.converged
+    grid = config.grid(profile)
+    step = grid[1] - grid[0]
+    for result in republishes:
+        print(
+            f"republished {args.param}={result.best.value:g} "
+            f"(mape {100.0 * result.best.mape:.3f}%, grid step {step:g}) "
+            f"fit {result.fit_fingerprint[:12]}"
+        )
+    print(
+        f"{len(results)} round(s), {len(republishes)} republish(es) in "
+        f"{wall:.2f}s wall — "
+        + ("converged" if converged else "NOT converged")
+    )
+
+    if not args.no_bench:
+        extra = {
+            "mode": "once" if args.once else "watch",
+            "profile": profile.name,
+            "parameter": args.param,
+            "rounds": len(results),
+            "republishes": len(republishes),
+            "converged": converged,
+        }
+        if republishes:
+            extra["fitted_value"] = republishes[-1].best.value
+            extra["fitted_mape"] = round(republishes[-1].best.mape, 8)
+        bench_path = (
+            Path(args.bench_json)
+            if args.bench_json
+            else benchlog.default_path(Path("results"))
+        )
+        written = benchlog.append_run(
+            {"calibrate": wall}, source="calibrate", path=bench_path, extra=extra
+        )
+        print(f"[trajectory appended to {written}]")
+    return 0 if converged else 1
+
+
 def _command_registry(_: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table
     from repro.workloads.registry import table1_rows
@@ -965,6 +1098,142 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --metrics)",
     )
     stream_parser.set_defaults(handler=_command_stream)
+
+    calibrate_parser = subparsers.add_parser(
+        "calibrate",
+        help="continuously calibrate the contention model against drifting hardware",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "--once fabricates drifted hardware (--perturb-scale), grid-\n"
+            "searches the parameter and republishes the best fit through the\n"
+            "versioned disk cache, exiting 0 iff the fit's MAPE lands under\n"
+            "--threshold.  --watch runs drift-check rounds continuously,\n"
+            "searching only when the incumbent's sliding-window MAPE crosses\n"
+            "the threshold; --drift-at/--drift-scale inject mid-run drift.\n"
+            "Docs: docs/calibration.md (cookbook, knobs, shipped profiles)."
+        ),
+    )
+    calibrate_parser.add_argument(
+        "--once", action="store_true", help="single-shot: search, republish, exit"
+    )
+    calibrate_parser.add_argument(
+        "--watch", action="store_true", help="run --rounds drift-check rounds"
+    )
+    calibrate_parser.add_argument(
+        "--profile",
+        default="cascade-lake-5218",
+        help="hardware profile: a built-in/shipped name or a .toml path "
+        "(default: cascade-lake-5218; see docs/calibration.md)",
+    )
+    calibrate_parser.add_argument(
+        "--param",
+        default="contention.memory_queueing_coefficient",
+        help="dot path of the model parameter to fit "
+        "(default: contention.memory_queueing_coefficient)",
+    )
+    calibrate_parser.add_argument(
+        "--perturb-scale",
+        type=float,
+        default=1.3,
+        help="--once only: fabricate truth by scaling the parameter "
+        "(default: 1.3)",
+    )
+    calibrate_parser.add_argument(
+        "--min",
+        type=float,
+        default=None,
+        help="grid lower bound (default: half the nominal value)",
+    )
+    calibrate_parser.add_argument(
+        "--max",
+        type=float,
+        default=None,
+        help="grid upper bound (default: double the nominal value)",
+    )
+    calibrate_parser.add_argument(
+        "--points",
+        type=int,
+        default=9,
+        help="linspace grid resolution (default: 9)",
+    )
+    calibrate_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="candidate evaluations in this many parallel processes "
+        "(default: 1 = inline; results are worker-count independent)",
+    )
+    calibrate_parser.add_argument(
+        "--window",
+        type=int,
+        default=48,
+        help="sliding MAPE window depth in epochs, and the probe window "
+        "length (default: 48)",
+    )
+    calibrate_parser.add_argument(
+        "--epochs-per-round",
+        type=int,
+        default=16,
+        help="epochs measured per drift-check round (default: 16)",
+    )
+    calibrate_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.005,
+        help="windowed MAPE above this detects drift (default: 0.005)",
+    )
+    calibrate_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=8,
+        help="--watch only: drift-check rounds to run (default: 8)",
+    )
+    calibrate_parser.add_argument(
+        "--drift-at",
+        type=float,
+        action="append",
+        default=[],
+        metavar="SECONDS",
+        help="--watch only: inject drift on --param at this simulated time "
+        "(repeatable, pairs with --drift-scale)",
+    )
+    calibrate_parser.add_argument(
+        "--drift-scale",
+        type=float,
+        action="append",
+        default=[],
+        metavar="SCALE",
+        help="scale applied by the matching --drift-at event (repeatable)",
+    )
+    calibrate_parser.add_argument(
+        "--seed",
+        type=int,
+        default=2024,
+        help="measurement churn seed (default: 2024)",
+    )
+    calibrate_parser.add_argument(
+        "--bench-json",
+        default=None,
+        help="override the BENCH_engine.json trajectory path",
+    )
+    calibrate_parser.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="skip appending a calibrate record to BENCH_engine.json",
+    )
+    calibrate_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print per-candidate search progress (see docs/observability.md)",
+    )
+    calibrate_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="append every calibration event to FILE as JSON lines "
+        "(implies --metrics)",
+    )
+    calibrate_parser.set_defaults(handler=_command_calibrate)
 
     registry_parser = subparsers.add_parser("registry", help="print the workload registry")
     registry_parser.set_defaults(handler=_command_registry)

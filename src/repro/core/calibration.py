@@ -538,6 +538,11 @@ def calibrate_cached(
         reference_repetitions=reference_repetitions,
         probe_repetitions=probe_repetitions,
         engine_config=engine_config,
+        # The oracle's parameters must also drive the stress-point CPUs:
+        # they are part of both cache identities above, and without this
+        # a recalibrated profile's tables would mix the new solo
+        # baselines with default-coefficient congestion measurements.
+        contention_parameters=contention_parameters,
         oracle=oracle,
     )
     result = calibrator.calibrate()

@@ -166,7 +166,7 @@ class PriceEvaluationResult:
 # --------------------------------------------------------------------- #
 # Shared environment plumbing
 # --------------------------------------------------------------------- #
-_ORACLE_CACHE: Dict[Tuple[str, float], SoloOracle] = {}
+_ORACLE_CACHE: Dict[Tuple[str, float, Any], SoloOracle] = {}
 _REGISTRY_CACHE: Dict[float, FunctionRegistry] = {}
 
 
@@ -179,26 +179,60 @@ def registry_for(config: ExperimentConfig) -> FunctionRegistry:
     return _REGISTRY_CACHE[scale]
 
 
-def oracle_for(config: ExperimentConfig) -> SoloOracle:
-    """A solo oracle shared by every experiment on the same machine/scale."""
-    key = (config.machine.name, config.registry_scale)
+def oracle_for(config: ExperimentConfig, *, contention_parameters=None) -> SoloOracle:
+    """A solo oracle shared by every experiment on the same machine/scale.
+
+    ``contention_parameters`` selects a recalibrated model fit; the
+    default ``None`` keeps the as-shipped coefficients.  Oracles are
+    cached per fit so figures mixing nominal and recalibrated tables
+    never cross-contaminate solo baselines.
+    """
+    key = (config.machine.name, config.registry_scale, contention_parameters)
     if key not in _ORACLE_CACHE:
         _ORACLE_CACHE[key] = SoloOracle(
-            config.machine, engine_config=EngineConfig(epoch_seconds=config.epoch_seconds)
+            config.machine,
+            contention_parameters=contention_parameters,
+            engine_config=EngineConfig(epoch_seconds=config.epoch_seconds),
         )
     return _ORACLE_CACHE[key]
 
 
-def calibration_for(config: ExperimentConfig) -> CalibrationResult:
-    """The calibration tables a configuration's pricing method relies on."""
+def calibration_for(
+    config: ExperimentConfig, *, contention_parameters=None
+) -> CalibrationResult:
+    """The calibration tables a configuration's pricing method relies on.
+
+    Passing ``contention_parameters`` rebuilds the tables under a
+    recalibrated model fit — the continuous-calibration service's
+    published fits enter the figure pipeline here, via
+    :func:`recalibrated_calibration_for`.
+    """
     return calibrate_cached(
         config.machine,
         config.calibration_scenario,
         registry=registry_for(config),
         stress_levels=config.calibration_levels,
         engine_config=EngineConfig(epoch_seconds=config.epoch_seconds),
-        oracle=oracle_for(config),
+        oracle=oracle_for(config, contention_parameters=contention_parameters),
     )
+
+
+def recalibrated_calibration_for(
+    config: ExperimentConfig, nominal_profile, calibration_config
+) -> CalibrationResult:
+    """Calibration tables under the continuously-calibrated published fit.
+
+    Loads the fit the calibrate service last republished for
+    ``(nominal_profile, calibration_config)`` — falling back to the
+    nominal coefficients when none is published or the entry fails its
+    fingerprint guard — and builds the tables with those parameters.
+    This is the figure-side opt-in: nothing changes for configs that
+    never ask for it.
+    """
+    from repro.calibrate import fitted_profile
+
+    fitted = fitted_profile(nominal_profile, calibration_config)
+    return calibration_for(config, contention_parameters=fitted.contention)
 
 
 #: Figure/table name -> factory for the default ExperimentConfig whose

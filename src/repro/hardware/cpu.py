@@ -89,6 +89,19 @@ class CPU:
     def contention(self) -> ContentionModel:
         return self._contention
 
+    def set_contention_parameters(
+        self, parameters: Optional[ContentionParameters]
+    ) -> None:
+        """Swap the contention model's coefficients from now on.
+
+        The hardware-drift hook (see :mod:`repro.calibrate`): the machine
+        geometry stays fixed but the calibrated coefficients describing it
+        change mid-run, exactly like a microcode update or thermal regime
+        shift would on real hardware.  The engine layer is responsible for
+        invalidating any state derived from the old model.
+        """
+        self._contention = ContentionModel(self._machine, parameters)
+
     @property
     def governor(self) -> FrequencyGovernor:
         return self._governor

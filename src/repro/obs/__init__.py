@@ -4,6 +4,7 @@ See :mod:`repro.obs.metrics` and docs/observability.md.
 """
 
 from repro.obs.metrics import (
+    CalibrationEvent,
     JsonlWriter,
     MetricsCollector,
     MetricsEmitter,
@@ -11,6 +12,7 @@ from repro.obs.metrics import (
 )
 
 __all__ = [
+    "CalibrationEvent",
     "JsonlWriter",
     "MetricsCollector",
     "MetricsEmitter",

@@ -113,6 +113,59 @@ class ProgressSnapshot:
         return line
 
 
+@dataclass(frozen=True)
+class CalibrationEvent:
+    """One observable step of the continuous-calibration loop.
+
+    The calibrate service emits these through an observer callback — the
+    calibration twin of :class:`ProgressSnapshot`.  ``kind`` is one of
+    ``round`` (a drift-check round finished), ``candidate`` (one grid
+    point scored, ``candidate_index``/``candidates_total`` carry search
+    progress) or ``republish`` (a new fit was atomically published,
+    ``fingerprint`` names the cache entry's self-fingerprint).  Strictly
+    read-only, like all observability here: observers see results the
+    service already computed.
+    """
+
+    kind: str
+    round_index: int
+    parameter: str
+    value: float = 0.0
+    mape: float = 0.0
+    threshold: float = 0.0
+    drift_detected: bool = False
+    candidate_index: int = 0
+    candidates_total: int = 0
+    fingerprint: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def render_line(self) -> str:
+        """The one-line form ``repro calibrate`` prints per event."""
+        head = f"[calibrate] round {self.round_index}"
+        if self.kind == "candidate":
+            return (
+                f"{head}: candidate {self.candidate_index + 1}/"
+                f"{self.candidates_total} {self.parameter}={self.value:.6g} "
+                f"mape {100.0 * self.mape:.3f}%"
+            )
+        if self.kind == "republish":
+            line = (
+                f"{head}: republish {self.parameter}={self.value:.6g} "
+                f"mape {100.0 * self.mape:.3f}%"
+            )
+            if self.fingerprint:
+                line += f" fit {self.fingerprint[:12]}"
+            return line
+        verdict = "drift detected" if self.drift_detected else "stable"
+        return (
+            f"{head}: incumbent {self.parameter}={self.value:.6g} "
+            f"windowed mape {100.0 * self.mape:.3f}% "
+            f"(threshold {100.0 * self.threshold:.3f}%) — {verdict}"
+        )
+
+
 class MetricsEmitter:
     """Worker-side throttled snapshot publisher (the progress callback).
 

@@ -23,6 +23,7 @@ from repro.platform.batch.vector_engine import (
 )
 from repro.platform.batch.sweep import (
     FleetScenario,
+    advance_to_boundary,
     FleetSweep,
     FleetSweepResult,
     NAMED_MIXES,
@@ -53,6 +54,7 @@ __all__ = [
     "VectorEngineConfig",
     "VectorEngineStats",
     "FleetScenario",
+    "advance_to_boundary",
     "FleetSweep",
     "FleetSweepResult",
     "NAMED_MIXES",

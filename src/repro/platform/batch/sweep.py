@@ -261,6 +261,25 @@ def _fault_boundaries(
     return sorted(by_time.items())
 
 
+def advance_to_boundary(engine, until: float, *, on_epoch=None) -> None:
+    """Step ``engine`` epoch-by-epoch up to the segment boundary ``until``.
+
+    The one piece of arithmetic both backends must share for segmented
+    horizons to agree: the target is computed as
+    ``time + (until - time)`` so that accumulated float error in the
+    engine clock cancels identically on either engine, and the loop stops
+    within one epoch of the boundary.  Used by the fault windows here and
+    by the hardware-drift boundaries of :mod:`repro.calibrate.drift` —
+    any engine exposing ``time_seconds`` and ``run_epoch()`` qualifies.
+    ``on_epoch`` (when given) runs after every stepped epoch.
+    """
+    target = engine.time_seconds + (until - engine.time_seconds)
+    while engine.time_seconds < target - 1e-12:
+        engine.run_epoch()
+        if on_epoch is not None:
+            on_epoch()
+
+
 def _throttle_scale(active_factors: Sequence[float]) -> float:
     """Combined frequency multiplier of the currently open throttles."""
     scale = 1.0
@@ -767,12 +786,12 @@ class FleetSweep:
                 )
             )
 
+        def on_epoch() -> None:
+            if progress is not None and engine.stats.epochs % 64 == 0:
+                emit()
+
         def advance(until: float) -> None:
-            target = engine.time_seconds + (until - engine.time_seconds)
-            while engine.time_seconds < target - 1e-12:
-                engine.run_epoch()
-                if progress is not None and engine.stats.epochs % 64 == 0:
-                    emit()
+            advance_to_boundary(engine, until, on_epoch=on_epoch)
 
         active_factors: List[List[float]] = [[] for _ in self._scenarios]
         for when, entries in sorted(boundaries.items()):

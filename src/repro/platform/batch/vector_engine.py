@@ -432,6 +432,26 @@ class VectorEngine:
         if (self._freq_scale == 1.0).all():
             self._freq_scale = None
 
+    def set_contention_parameters(
+        self, parameters: Optional[ContentionParameters]
+    ) -> None:
+        """Apply new contention-model coefficients from now on.
+
+        The hardware-drift hook (see :mod:`repro.calibrate.drift`), the
+        vector twin of :meth:`SimulationEngine.set_contention_parameters`:
+        the fleet keeps its state but every subsequent epoch's fixed point
+        evaluates under the new coefficients.  The derived per-epoch
+        constants are recomputed here; nothing else in the engine bakes
+        them in, so both backends stay in lockstep when drift is applied
+        at the same segment boundary.
+        """
+        self._parameters = parameters or ContentionParameters()
+        self._utility_exponent = self._parameters.cache_utility_exponent
+        self._max_util = self._parameters.max_utilization
+        self._ring_q = self._parameters.ring_queueing_coefficient
+        self._memory_q = self._parameters.memory_queueing_coefficient
+        self._pressure = self._parameters.private_pressure_sensitivity
+
     def invocation_spec(self, index: int) -> FunctionSpec:
         """The function spec of a tracked invocation, by index.
 

@@ -332,6 +332,20 @@ class SimulationEngine:
         self._span_ready = False
         self._signature_cache.invalidate()
 
+    def set_contention_parameters(self, parameters) -> None:
+        """Apply new contention-model coefficients from now on.
+
+        The hardware-drift hook (see :mod:`repro.calibrate.drift`): like
+        :meth:`set_frequency_scale`, changing the model invalidates the
+        fast-path caches — memoized penalty signatures and the pending
+        stable span bake in penalties computed under the old coefficients,
+        so replaying them would no longer be bit-exact against plain
+        stepping under the new ones.
+        """
+        self._cpu.set_contention_parameters(parameters)
+        self._span_ready = False
+        self._signature_cache.invalidate()
+
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #

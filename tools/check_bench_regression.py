@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Gate CI on perf regressions against the committed bench baseline.
+
+``BENCH_engine.json`` is a CI artifact, regenerated every run and never
+committed; ``BENCH_baseline.json`` is its committed anchor — one known-good
+trajectory of the same smoke commands, refreshed deliberately whenever the
+engine's cost profile legitimately moves.  This script compares the fresh
+trajectory against the anchor:
+
+* Entries match on their *workload signature*, not their position —
+  a fleet-sweep entry matches on (figure key, fleet size, horizon,
+  registry scale), a stream-replay entry on (spec, chunk epochs), a
+  calibrate entry on (mode, profile, parameter) — so reordering or
+  adding smoke steps never miscompares.
+* The baseline time for a signature is the *minimum* over its matching
+  baseline entries: the anchor is "the engine has gone this fast", which
+  a noisy CI runner should only beat, never trail by more than the
+  allowed factor.
+* A fresh entry slower than ``--factor`` (default 1.3x) times its
+  baseline fails the gate.  Fresh entries with no baseline match are
+  reported and skipped — new smoke steps should not fail CI until a
+  baseline for them is committed.
+
+Usage:
+    python tools/check_bench_regression.py \
+        --baseline BENCH_baseline.json --fresh BENCH_engine.json [--factor 1.3]
+
+Exit codes: 0 clean (or nothing comparable), 1 regression, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple
+
+#: Sources the gate understands; anything else (pytest-benchmark runs,
+#: figure-runner checks) is wall-clock dominated by shared-cache warmup
+#: and too noisy to gate on.
+GATED_SOURCES = ("fleet-sweep", "stream-replay", "calibrate")
+
+Signature = Tuple[Any, ...]
+
+
+def _load_runs(path: Path) -> List[Dict[str, Any]]:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+    except ValueError as error:
+        raise SystemExit(f"{path} is not valid JSON: {error}")
+    if not isinstance(document, dict) or not isinstance(document.get("runs"), list):
+        raise SystemExit(f"{path} is not a benchlog trajectory (missing 'runs')")
+    return [run for run in document["runs"] if isinstance(run, dict)]
+
+
+def _signatures(run: Dict[str, Any]) -> Iterator[Tuple[Signature, float]]:
+    """Yield one (signature, seconds) per figure entry of a gated run."""
+    source = run.get("source")
+    if source not in GATED_SOURCES:
+        return
+    figures = run.get("figures")
+    if not isinstance(figures, dict):
+        return
+    for figure, seconds in figures.items():
+        if not isinstance(seconds, (int, float)):
+            continue
+        if source == "fleet-sweep":
+            key: Signature = (
+                source,
+                figure,
+                run.get("fleet_size"),
+                run.get("horizon_seconds"),
+                run.get("registry_scale"),
+            )
+        elif source == "stream-replay":
+            key = (source, figure, run.get("spec"), run.get("chunk_epochs"))
+        else:  # calibrate
+            key = (
+                source,
+                figure,
+                run.get("mode"),
+                run.get("profile"),
+                run.get("parameter"),
+            )
+        yield key, float(seconds)
+
+
+def _describe(signature: Signature) -> str:
+    source, figure = signature[0], signature[1]
+    detail = ", ".join(str(part) for part in signature[2:] if part is not None)
+    return f"{source}/{figure}" + (f" ({detail})" if detail else "")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when fresh bench entries regress vs the committed baseline"
+    )
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--fresh", required=True, type=Path)
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=1.3,
+        help="fail when fresh > factor * baseline (default: 1.3)",
+    )
+    args = parser.parse_args(argv)
+    if args.factor <= 1.0:
+        print("--factor must be > 1.0", file=sys.stderr)
+        return 2
+
+    baseline_best: Dict[Signature, float] = {}
+    for run in _load_runs(args.baseline):
+        for signature, seconds in _signatures(run):
+            best = baseline_best.get(signature)
+            if best is None or seconds < best:
+                baseline_best[signature] = seconds
+
+    fresh: List[Tuple[Signature, float]] = []
+    for run in _load_runs(args.fresh):
+        fresh.extend(_signatures(run))
+
+    if not fresh:
+        print(
+            f"no gated entries ({', '.join(GATED_SOURCES)}) in {args.fresh}; "
+            "nothing to compare"
+        )
+        return 0
+
+    failures = []
+    compared = 0
+    for signature, seconds in fresh:
+        best = baseline_best.get(signature)
+        if best is None:
+            print(f"SKIP {_describe(signature)}: no baseline entry (new smoke step?)")
+            continue
+        compared += 1
+        ratio = seconds / best if best > 0 else float("inf")
+        verdict = "FAIL" if ratio > args.factor else "ok"
+        print(
+            f"{verdict:4s} {_describe(signature)}: {seconds:.3f}s vs baseline "
+            f"{best:.3f}s ({ratio:.2f}x, limit {args.factor:g}x)"
+        )
+        if ratio > args.factor:
+            failures.append((signature, seconds, best, ratio))
+
+    if failures:
+        print(
+            f"\n{len(failures)} of {compared} compared entr"
+            f"{'y' if compared == 1 else 'ies'} regressed beyond "
+            f"{args.factor:g}x; refresh BENCH_baseline.json only if the "
+            "slowdown is intended",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {compared} compared entries within {args.factor:g}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
