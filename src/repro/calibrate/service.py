@@ -48,6 +48,7 @@ from repro.calibrate.drift import DriftInjector
 from repro.calibrate.measure import MeasureConfig, measure_series
 from repro.calibrate.profile import HardwareProfile, get_param, set_param
 from repro.obs.metrics import CalibrationEvent
+from repro.obs.trace import SpanContext, Tracer
 
 #: Diskcache kind for published fits (entries: ``calibration-fit-<key>.json``).
 PUBLISH_KIND = "calibration-fit"
@@ -295,6 +296,10 @@ class RoundResult:
     incumbent_value: float = 0.0
     #: Whether the incumbent's windowed MAPE is back under threshold.
     converged: bool = True
+    #: The round's measured ground-truth window (per-epoch values) — the
+    #: raw series behind ``windowed_mape``; observability consumers turn
+    #: it into ``repro.obs.series`` points.
+    measured: Tuple[float, ...] = ()
 
 
 class ContinuousCalibrator:
@@ -315,6 +320,8 @@ class ContinuousCalibrator:
         incumbent: Optional[HardwareProfile] = None,
         drift: Optional[DriftInjector] = None,
         observer: Optional[Observer] = None,
+        tracer: Optional[Tracer] = None,
+        trace_parent: Optional[SpanContext] = None,
     ) -> None:
         if incumbent is not None and incumbent.machine != truth.machine:
             raise ValueError(
@@ -326,6 +333,10 @@ class ContinuousCalibrator:
         self._nominal = self._incumbent
         self._drift = drift
         self._observer = observer
+        #: Optional span tracing (repro.obs.trace); strictly read-only —
+        #: spans observe the round's timings, never its arithmetic.
+        self._tracer = tracer
+        self._trace_parent = trace_parent
         self._apes: Deque[float] = deque(maxlen=config.mape_window_epochs)
         self._round = 0
         self._clock = 0.0
@@ -346,7 +357,27 @@ class ContinuousCalibrator:
         self._clock += epochs * self._config.measure.epoch_seconds
 
     def run_round(self) -> RoundResult:
-        """One drift-check round; searches and republishes only on drift."""
+        """One drift-check round; searches and republishes only on drift.
+
+        With a tracer attached, the round emits one ``phase=round`` span
+        with ``measure`` / ``search`` children — the calibration limb of
+        the run's trace tree.
+        """
+        if self._tracer is None:
+            return self._run_round_inner()
+        with self._tracer.span(
+            f"round-{self._round}",
+            parent=self._trace_parent,
+            tags={"phase": "round"},
+        ) as span:
+            result = self._run_round_inner()
+            span.tags.update(
+                drift_detected=result.drift_detected,
+                windowed_mape=result.windowed_mape,
+            )
+            return result
+
+    def _run_round_inner(self) -> RoundResult:
         config = self._config
         round_index = self._round
         self._round += 1
@@ -354,6 +385,11 @@ class ContinuousCalibrator:
             config.measure, seed=config.measure.seed + round_index
         )
 
+        measure_span = (
+            None
+            if self._tracer is None
+            else self._tracer.start("measure", tags={"phase": "measure"})
+        )
         measured = measure_series(
             self._truth,
             measure_config,
@@ -364,6 +400,9 @@ class ContinuousCalibrator:
         predicted = measure_series(
             self._incumbent, measure_config, config.epochs_per_round
         )
+        if measure_span is not None:
+            measure_span.tags["epochs"] = config.epochs_per_round
+            self._tracer.finish(measure_span)
         self._advance(config.epochs_per_round)
         for guess, actual in zip(predicted, measured):
             self._apes.append(abs(guess - actual) / max(abs(actual), 1e-12))
@@ -387,11 +426,17 @@ class ContinuousCalibrator:
                 drift_detected=False,
                 incumbent_value=get_param(self._incumbent, config.parameter),
                 converged=True,
+                measured=tuple(measured),
             )
 
         # Drift: probe a full window of current reality and fit the grid
         # against it.  The probe is a fresh controlled experiment, so it
         # advances the drift clock like any other measurement.
+        search_span = (
+            None
+            if self._tracer is None
+            else self._tracer.start("search", tags={"phase": "search"})
+        )
         probe = measure_series(
             self._truth,
             measure_config,
@@ -408,6 +453,9 @@ class ContinuousCalibrator:
             round_index=round_index,
             observer=self._observer,
         )
+        if search_span is not None:
+            search_span.tags["candidates"] = len(scores)
+            self._tracer.finish(search_span)
         best = best_candidate(scores)
         self._incumbent = set_param(self._nominal, config.parameter, best.value)
         _, payload, _ = publish_fit(
@@ -438,6 +486,7 @@ class ContinuousCalibrator:
             fit_fingerprint=payload["fingerprint"],
             incumbent_value=best.value,
             converged=best.mape <= config.drift_mape_threshold,
+            measured=tuple(measured),
         )
 
     def run(self, rounds: int) -> List[RoundResult]:
@@ -453,6 +502,8 @@ def calibrate_once(
     *,
     incumbent: Optional[HardwareProfile] = None,
     observer: Optional[Observer] = None,
+    tracer: Optional[Tracer] = None,
+    trace_parent: Optional[SpanContext] = None,
 ) -> RoundResult:
     """Single-shot calibration: search now, republish, report convergence.
 
@@ -464,7 +515,21 @@ def calibrate_once(
     nominal = incumbent or truth
     if nominal.machine != truth.machine:
         raise ValueError("incumbent and truth profiles must share a machine topology")
+    round_span = (
+        None
+        if tracer is None
+        else tracer.start("round-0", parent=trace_parent, tags={"phase": "round"})
+    )
+    measure_span = (
+        None if tracer is None else tracer.start("measure", tags={"phase": "measure"})
+    )
     probe = measure_series(truth, config.measure, config.mape_window_epochs)
+    if measure_span is not None:
+        measure_span.tags["epochs"] = config.mape_window_epochs
+        tracer.finish(measure_span)
+    search_span = (
+        None if tracer is None else tracer.start("search", tags={"phase": "search"})
+    )
     scores = grid_search(
         nominal,
         config,
@@ -472,6 +537,9 @@ def calibrate_once(
         observer=observer,
     )
     best = best_candidate(scores)
+    if search_span is not None:
+        search_span.tags["candidates"] = len(scores)
+        tracer.finish(search_span)
     _, payload, _ = publish_fit(
         nominal,
         config,
@@ -491,6 +559,8 @@ def calibrate_once(
                 fingerprint=payload["fingerprint"],
             )
         )
+    if round_span is not None:
+        tracer.finish(round_span)
     return RoundResult(
         round_index=0,
         windowed_mape=best.mape,
@@ -500,4 +570,5 @@ def calibrate_once(
         fit_fingerprint=payload["fingerprint"],
         incumbent_value=best.value,
         converged=best.mape <= config.drift_mape_threshold,
+        measured=tuple(probe),
     )

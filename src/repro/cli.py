@@ -314,10 +314,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
     collector = None
     metrics_queue = None
     manager = None
+    tracer = None
+    root_span = None
+    series_budget = args.series_budget if args.series_budget else None
     if metrics_enabled:
         import multiprocessing
 
-        from repro.obs import MetricsCollector
+        from repro.obs import MetricsCollector, Tracer
 
         manager = multiprocessing.Manager()
         metrics_queue = manager.Queue()
@@ -326,6 +329,19 @@ def _command_sweep(args: argparse.Namespace) -> int:
             stream=sys.stderr,
             out_path=Path(args.metrics_out) if args.metrics_out else None,
         ).start()
+        # One root span per run; shard workers parent on it through the
+        # queue, so the whole sharded sweep files into a single trace.
+        tracer = Tracer(sink=metrics_queue.put)
+        root_span = tracer.start(
+            "sweep",
+            tags={
+                "phase": "sweep",
+                "backend": backend,
+                "shards": shards,
+                "scenarios": len(scenarios),
+                **({"spec": spec.name} if spec is not None else {}),
+            },
+        )
 
     def execute(run_backend: str, scenario_list=None, *, meter=False, label=""):
         return run_sharded(
@@ -339,6 +355,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
             meter=meter,
             metrics_queue=metrics_queue,
             metrics_label=label,
+            trace=None if root_span is None else root_span.context(),
+            series_budget=series_budget,
         )
 
     figures = {}
@@ -417,7 +435,17 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if collector is not None:
         collector.stop()
         extra["metrics"] = collector.summary()
+        # Close the run's root span: fold in the overhead every worker
+        # self-reported, then append it directly to the JSONL (the
+        # collector is already stopped, so it cannot ride the queue).
+        tracer.add_overhead(collector.span_overhead_seconds)
+        tracer.finish(root_span, root=True, emit=False)
+        extra["obs_overhead_fraction"] = root_span.tags["obs_overhead_fraction"]
         if args.metrics_out:
+            from repro.obs import JsonlWriter, wrap
+
+            with JsonlWriter(Path(args.metrics_out)) as span_writer:
+                span_writer.write(wrap("span", root_span.to_dict()))
             print(f"[metrics written to {args.metrics_out}]")
     if manager is not None:
         manager.shutdown()
@@ -545,10 +573,12 @@ def _command_stream(args: argparse.Namespace) -> int:
 
     collector = None
     metrics_queue = None
+    tracer = None
+    root_span = None
     if args.metrics or args.metrics_out is not None:
         import queue as _queue
 
-        from repro.obs import MetricsCollector, MetricsEmitter
+        from repro.obs import MetricsCollector, MetricsEmitter, Tracer
 
         metrics_queue = _queue.Queue()
         collector = MetricsCollector(
@@ -556,7 +586,23 @@ def _command_stream(args: argparse.Namespace) -> int:
             stream=sys.stderr,
             out_path=Path(args.metrics_out) if args.metrics_out else None,
         ).start()
-        replay.set_progress(MetricsEmitter(metrics_queue, label="stream"))
+        replay.set_progress(
+            MetricsEmitter(
+                metrics_queue,
+                label="stream",
+                series_budget=args.series_budget if args.series_budget else None,
+            )
+        )
+        tracer = Tracer(sink=metrics_queue.put)
+        root_span = tracer.start(
+            "stream",
+            tags={
+                "phase": "stream",
+                "spec": spec.name,
+                "chunks": len(plan),
+                "resumed": resumed,
+            },
+        )
 
     writer = None
     sink = None
@@ -580,10 +626,14 @@ def _command_stream(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             max_chunks=args.max_chunks,
             finalize=args.max_chunks is None,
+            tracer=tracer,
+            trace_parent=None if root_span is None else root_span.context(),
         ).run()
     finally:
         if writer is not None:
             writer.close()
+        if tracer is not None and root_span is not None:
+            tracer.finish(root_span, root=True)
         if collector is not None:
             collector.stop()
     wall = _time.perf_counter() - start
@@ -627,6 +677,9 @@ def _command_stream(args: argparse.Namespace) -> int:
         verified = True
         print("verified: streamed ledgers and counters are bit-exact vs batch")
 
+    obs_overhead_fraction = None
+    if root_span is not None:
+        obs_overhead_fraction = root_span.tags.get("obs_overhead_fraction", 0.0)
     if collector is not None:
         if args.metrics_out:
             print(f"[metrics written to {args.metrics_out}]")
@@ -656,6 +709,8 @@ def _command_stream(args: argparse.Namespace) -> int:
             extra["verified_bit_exact"] = verified
         if collector is not None:
             extra["metrics"] = collector.summary()
+        if obs_overhead_fraction is not None:
+            extra["obs_overhead_fraction"] = obs_overhead_fraction
         bench_path = (
             Path(args.bench_json)
             if args.bench_json
@@ -726,14 +781,34 @@ def _command_calibrate(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
 
+    from repro.obs import wrap
+
     writer = JsonlWriter(Path(args.metrics_out)) if args.metrics_out else None
     show_candidates = args.metrics or args.metrics_out is not None
 
     def observer(event) -> None:
         if writer is not None:
-            writer.write(event.to_dict())
+            writer.write(wrap("calibration", event.to_dict()))
         if event.kind != "candidate" or show_candidates:
             print(event.render_line(), flush=True)
+
+    tracer = None
+    root_span = None
+    if writer is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer(
+            sink=lambda span: writer.write(wrap("span", span.to_dict()))
+        )
+        root_span = tracer.start(
+            "calibrate",
+            tags={
+                "phase": "calibrate",
+                "profile": profile.name,
+                "parameter": args.param,
+                "mode": "once" if args.once else "watch",
+            },
+        )
 
     republishes = []
     start = _time.perf_counter()
@@ -745,7 +820,14 @@ def _command_calibrate(args: argparse.Namespace) -> int:
             f"({nominal_value:g} -> {get_param(truth, args.param):g}); "
             f"searching {config.linspace_points} candidates"
         )
-        result = calibrate_once(truth, config, incumbent=profile, observer=observer)
+        result = calibrate_once(
+            truth,
+            config,
+            incumbent=profile,
+            observer=observer,
+            tracer=tracer,
+            trace_parent=None if root_span is None else root_span.context(),
+        )
         results = [result]
         republishes.append(result)
     else:
@@ -755,12 +837,47 @@ def _command_calibrate(args: argparse.Namespace) -> int:
         )
         drift = DriftInjector(profile, events) if events else None
         calibrator = ContinuousCalibrator(
-            profile, config, drift=drift, observer=observer
+            profile,
+            config,
+            drift=drift,
+            observer=observer,
+            tracer=tracer,
+            trace_parent=None if root_span is None else root_span.context(),
         )
         results = calibrator.run(args.rounds)
         republishes = [r for r in results if r.drift_detected and r.best is not None]
     wall = _time.perf_counter() - start
+    obs_overhead_fraction = None
     if writer is not None:
+        # Each round's measured window becomes per-epoch series points —
+        # the measured value IS the shared-stall fraction (see
+        # repro.calibrate.measure), so the mapping is exact.
+        from repro.obs import SeriesPoint
+
+        epoch = 0
+        for result in results:
+            for value in result.measured:
+                writer.write(
+                    wrap(
+                        "series",
+                        SeriesPoint(
+                            shard="calibrate",
+                            epoch=epoch,
+                            time_seconds=epoch * config.measure.epoch_seconds,
+                            completions=0,
+                            shared_stall_fraction=value,
+                            fault_injections=0,
+                            meter_dropped=0,
+                            billing_error_fraction=0.0,
+                        ).to_dict(),
+                    )
+                )
+                epoch += 1
+        if tracer is not None and root_span is not None:
+            tracer.finish(root_span, root=True)
+            obs_overhead_fraction = root_span.tags.get(
+                "obs_overhead_fraction", 0.0
+            )
         writer.close()
         print(f"[calibration events written to {args.metrics_out}]")
 
@@ -792,6 +909,8 @@ def _command_calibrate(args: argparse.Namespace) -> int:
         if republishes:
             extra["fitted_value"] = republishes[-1].best.value
             extra["fitted_mape"] = round(republishes[-1].best.mape, 8)
+        if obs_overhead_fraction is not None:
+            extra["obs_overhead_fraction"] = obs_overhead_fraction
         bench_path = (
             Path(args.bench_json)
             if args.bench_json
@@ -802,6 +921,58 @@ def _command_calibrate(args: argparse.Namespace) -> int:
         )
         print(f"[trajectory appended to {written}]")
     return 0 if converged else 1
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.analyze import (
+        export_chrome_trace,
+        format_summary,
+        render_record,
+        summarize,
+        tail_records,
+    )
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    try:
+        if args.obs_command == "summarize":
+            summary = summarize(path, top=args.top)
+            if args.json:
+                print(_json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                print(format_summary(summary))
+            return 0
+        if args.obs_command == "tail":
+            try:
+                for kind, payload in tail_records(
+                    path,
+                    follow=not args.no_follow,
+                    max_seconds=args.max_seconds,
+                ):
+                    print(render_record(kind, payload), flush=True)
+            except KeyboardInterrupt:  # pragma: no cover - interactive stop
+                pass
+            return 0
+        # export-trace
+        out = Path(args.out) if args.out else path.with_suffix(".trace.json")
+        trace = export_chrome_trace(path, out)
+        spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+        counters = sum(1 for e in trace["traceEvents"] if e.get("ph") == "C")
+        print(
+            f"[{spans} span(s), {counters} counter sample(s) written to {out}; "
+            f"open in https://ui.perfetto.dev]"
+        )
+        return 0
+    except BrokenPipeError:  # obs ... | head: downstream closed early
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 def _command_registry(_: argparse.Namespace) -> int:
@@ -1002,8 +1173,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         default=None,
         metavar="FILE",
-        help="append every metrics snapshot to FILE as JSON lines "
-        "(implies --metrics)",
+        help="append every metrics record (snapshots, per-epoch series, "
+        "trace spans) to FILE as enveloped JSON lines, consumable by "
+        "`python -m repro obs` (implies --metrics)",
+    )
+    sweep_parser.add_argument(
+        "--series-budget",
+        type=int,
+        default=512,
+        metavar="POINTS",
+        help="per-shard point budget for per-epoch series telemetry "
+        "(deterministic stride decimation keeps memory bounded; 0 disables; "
+        "default: 512)",
     )
     sweep_parser.set_defaults(handler=_command_sweep)
 
@@ -1094,8 +1275,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         default=None,
         metavar="FILE",
-        help="append every metrics snapshot to FILE as JSON lines "
-        "(implies --metrics)",
+        help="append every metrics record (snapshots, per-epoch series, "
+        "trace spans) to FILE as enveloped JSON lines, consumable by "
+        "`python -m repro obs` (implies --metrics)",
+    )
+    stream_parser.add_argument(
+        "--series-budget",
+        type=int,
+        default=512,
+        metavar="POINTS",
+        help="point budget for per-epoch series telemetry (0 disables; "
+        "default: 512)",
     )
     stream_parser.set_defaults(handler=_command_stream)
 
@@ -1234,6 +1424,66 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --metrics)",
     )
     calibrate_parser.set_defaults(handler=_command_calibrate)
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="analyze an enveloped metrics JSONL (summarize, tail, export-trace)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Consumes the --metrics-out file any long-running command\n"
+            "(sweep, stream, calibrate, run) writes: summarize prints the\n"
+            "per-phase wall-clock breakdown and the slowest spans; tail\n"
+            "follows a growing file live; export-trace writes Chrome\n"
+            "trace-event JSON, viewable at https://ui.perfetto.dev.\n"
+            "Unknown record kinds and future schema versions are skipped\n"
+            "with a warning, never a crash.\n"
+            "Docs: docs/observability.md (schema table, tracing cookbook)."
+        ),
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    summarize_parser = obs_sub.add_parser(
+        "summarize", help="per-phase wall-clock breakdown + slowest spans"
+    )
+    summarize_parser.add_argument("file", help="enveloped metrics JSONL file")
+    summarize_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many slowest spans to list (default: 10)",
+    )
+    summarize_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as JSON instead of text",
+    )
+    tail_parser = obs_sub.add_parser(
+        "tail", help="live-tail a (growing) metrics JSONL"
+    )
+    tail_parser.add_argument("file", help="enveloped metrics JSONL file")
+    tail_parser.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="print what exists and exit instead of polling for appends",
+    )
+    tail_parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop following after this long (default: until interrupted)",
+    )
+    export_parser = obs_sub.add_parser(
+        "export-trace",
+        help="write Chrome trace-event JSON (open in Perfetto)",
+    )
+    export_parser.add_argument("file", help="enveloped metrics JSONL file")
+    export_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output path (default: <file>.trace.json)",
+    )
+    obs_parser.set_defaults(handler=_command_obs)
 
     registry_parser = subparsers.add_parser("registry", help="print the workload registry")
     registry_parser.set_defaults(handler=_command_registry)

@@ -109,6 +109,9 @@ class FigureRun:
     matched: Optional[bool] = None  # check mode only
     diff: Optional[str] = None
     profile_text: Optional[str] = None  # --profile only
+    #: Wall-clock (time.time()) when the job started; lets the parent
+    #: file a post-hoc trace span without pickling tracers into workers.
+    started_unix: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -131,6 +134,7 @@ class SweepReport:
 
 def _execute_job(name: str, profile: bool = False) -> FigureRun:
     """Worker entry point: regenerate one figure and render it."""
+    started_unix = time.time()
     start = time.perf_counter()
     profile_text: Optional[str] = None
     if profile:
@@ -154,6 +158,7 @@ def _execute_job(name: str, profile: bool = False) -> FigureRun:
         rendered=rendered,
         seconds=time.perf_counter() - start,
         profile_text=profile_text,
+        started_unix=started_unix,
     )
 
 
@@ -181,29 +186,47 @@ def run_figures(
     appended to the ``BENCH_engine.json`` trajectory.  With ``profile``
     each figure runs under :mod:`cProfile` and its top-20
     cumulative-time entries ride along on the returned runs.
-    ``metrics_path`` appends one JSON line per completed figure (plus a
-    final ``done`` record) — the ``run`` counterpart of
-    ``sweep --metrics-out`` (see docs/observability.md).
+    ``metrics_path`` appends one enveloped trace span per completed
+    figure under a ``run-figures`` root span — the ``run`` counterpart of
+    ``sweep --metrics-out``, consumable by ``python -m repro obs``
+    (see docs/observability.md).  The root span self-accounts tracing
+    overhead; its ``obs_overhead_fraction`` lands in the
+    ``BENCH_engine.json`` run extras.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     ordered = _dispatch_order(names)
     metrics_writer = None
+    tracer = None
+    root_span = None
     if metrics_path is not None:
-        from repro.obs import JsonlWriter
+        from repro.obs import JsonlWriter, Tracer, wrap
 
         metrics_writer = JsonlWriter(metrics_path)
+        writer = metrics_writer
+        tracer = Tracer(
+            sink=lambda span: writer.write(wrap("span", span.to_dict()))
+        )
+        root_span = tracer.start(
+            "run-figures",
+            tags={"phase": "run", "figures": len(ordered), "jobs": jobs},
+        )
 
     def record_figure(run: FigureRun, completed: int) -> None:
-        if metrics_writer is not None:
-            metrics_writer.write(
-                {
-                    "event": "figure",
-                    "figure": run.name,
-                    "seconds": round(run.seconds, 4),
+        # Figure spans are synthesized post-hoc in the parent from the
+        # worker-reported wall start + duration, so workers stay free of
+        # tracer state (and picklable).
+        if tracer is not None:
+            tracer.record(
+                run.name,
+                start_unix_seconds=run.started_unix,
+                duration_seconds=run.seconds,
+                parent=root_span,
+                tags={
+                    "phase": "figure",
                     "completed": completed,
                     "total": len(ordered),
-                }
+                },
             )
     # Recorded so trajectory readers can tell a cold sweep from a warm one:
     # per-figure seconds mostly reflect which job paid for a shared cached
@@ -276,14 +299,12 @@ def run_figures(
             checked.append(run)
 
     wall = time.perf_counter() - sweep_start
-    if metrics_writer is not None:
-        metrics_writer.write(
-            {
-                "event": "done",
-                "figures": len(runs),
-                "jobs": jobs,
-                "wall_seconds": round(wall, 4),
-            }
+    obs_extra: Dict[str, float] = {}
+    if tracer is not None and root_span is not None:
+        root_span.tags["figures"] = len(runs)
+        tracer.finish(root_span, root=True)
+        obs_extra["obs_overhead_fraction"] = float(
+            root_span.tags.get("obs_overhead_fraction", 0.0)
         )
         metrics_writer.close()
     written_bench: Optional[Path] = None
@@ -307,6 +328,7 @@ def run_figures(
                 # cProfile inflates per-figure seconds severalfold; the
                 # marker keeps profiled entries from reading as regressions.
                 **({"profiled": True} if profile else {}),
+                **obs_extra,
             },
         )
     return SweepReport(runs=checked, jobs=jobs, wall_seconds=wall, bench_path=written_bench)

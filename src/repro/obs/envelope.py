@@ -1,0 +1,166 @@
+"""The versioned JSONL event envelope unifying every obs record type.
+
+One ``--metrics-out`` file carries four record kinds — cumulative
+progress ``snapshot``\\ s, per-epoch ``series`` points, timing ``span``\\ s
+and ``calibration`` events — each wrapped in the same envelope::
+
+    {"v": 1, "kind": "snapshot", ...payload fields...}
+
+``v`` is the schema version; ``kind`` selects the payload schema.  The
+contract readers must honour (and :func:`unwrap` implements): an unknown
+``kind`` or a *future* ``v`` is **skipped with a warning**, never a
+crash — an old ``obs summarize`` pointed at a newer run degrades to
+partial output instead of a traceback.
+
+:func:`decode` closes the round trip: it rebuilds the typed record
+(:class:`~repro.obs.metrics.ProgressSnapshot`,
+:class:`~repro.obs.series.SeriesPoint`,
+:class:`~repro.obs.trace.TraceSpan`,
+:class:`~repro.obs.metrics.CalibrationEvent`) from an unwrapped payload,
+dropping derived fields (``epochs_per_second`` …) that ride along in
+``to_dict()`` form.  The property tests assert
+``decode(*unwrap(wrap(kind, record.to_dict())))`` reproduces every
+emitted record exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "ENVELOPE_VERSION",
+    "KINDS",
+    "EnvelopeWarning",
+    "wrap",
+    "unwrap",
+    "decode",
+    "read_records",
+]
+
+#: Current schema version of the JSONL envelope.
+ENVELOPE_VERSION = 1
+
+#: The record kinds this version understands.
+KINDS = ("snapshot", "series", "span", "calibration")
+
+
+class EnvelopeWarning(UserWarning):
+    """A JSONL record was skipped (unknown kind, future version, garbage)."""
+
+
+def wrap(kind: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Envelope a payload dict.  ``kind`` must be one of :data:`KINDS`.
+
+    ``v`` and ``kind`` are reserved envelope keys.  A payload's own
+    ``kind`` field (calibration events carry one) is stored as ``event``
+    so it cannot clobber the envelope's dispatch key; :func:`decode`
+    maps it back.  A payload ``v`` is dropped outright.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown envelope kind {kind!r}; expected one of {KINDS}")
+    record: Dict[str, Any] = {"v": ENVELOPE_VERSION, "kind": kind}
+    for key, value in payload.items():
+        if key == "v":
+            continue
+        record["event" if key == "kind" else key] = value
+    return record
+
+
+def unwrap(record: Mapping[str, Any]) -> Optional[Tuple[str, Dict[str, Any]]]:
+    """``(kind, payload)`` for a readable record, ``None`` (+ warning) else.
+
+    Skips — with an :class:`EnvelopeWarning` naming the reason — records
+    whose version is missing/newer than this reader, or whose kind is
+    unrecognized.  Readers stay forward-compatible by construction.
+    """
+    version = record.get("v")
+    if not isinstance(version, int) or version < 1:
+        warnings.warn(
+            f"skipping unversioned obs record (v={version!r})", EnvelopeWarning,
+            stacklevel=2,
+        )
+        return None
+    if version > ENVELOPE_VERSION:
+        warnings.warn(
+            f"skipping obs record from a future schema (v={version} > "
+            f"{ENVELOPE_VERSION}); upgrade to read it",
+            EnvelopeWarning,
+            stacklevel=2,
+        )
+        return None
+    kind = record.get("kind")
+    if kind not in KINDS:
+        warnings.warn(
+            f"skipping obs record of unknown kind {kind!r} "
+            f"(known: {', '.join(KINDS)})",
+            EnvelopeWarning,
+            stacklevel=2,
+        )
+        return None
+    payload = {key: value for key, value in record.items() if key not in ("v", "kind")}
+    return kind, payload
+
+
+def decode(kind: str, payload: Mapping[str, Any]) -> Any:
+    """Rebuild the typed record behind an unwrapped payload.
+
+    Derived ``to_dict()`` extras (``epochs_per_second``,
+    ``billing_error_fraction`` on snapshots) are dropped so the
+    constructor sees exactly its dataclass fields; unknown *payload*
+    fields added by future minor revisions are ignored the same way.
+    """
+    # Imported lazily: repro.obs.metrics imports wrap() from this module.
+    from repro.obs.metrics import CalibrationEvent, ProgressSnapshot
+    from repro.obs.series import SeriesPoint
+    from repro.obs.trace import TraceSpan
+
+    if kind == "snapshot":
+        fields = ProgressSnapshot.__dataclass_fields__
+        return ProgressSnapshot(**{k: v for k, v in payload.items() if k in fields})
+    if kind == "series":
+        return SeriesPoint.from_payload(payload)
+    if kind == "span":
+        return TraceSpan.from_payload(payload)
+    if kind == "calibration":
+        fields = CalibrationEvent.__dataclass_fields__
+        data = dict(payload)
+        if "event" in data and "kind" not in data:
+            data["kind"] = data.pop("event")  # undo wrap()'s rename
+        return CalibrationEvent(**{k: v for k, v in data.items() if k in fields})
+    raise ValueError(f"unknown envelope kind {kind!r}")
+
+
+def read_records(path: Path) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield ``(kind, payload)`` per readable line of an obs JSONL file.
+
+    Unparseable lines and unreadable envelopes are skipped with an
+    :class:`EnvelopeWarning`; the iterator never raises on content (only
+    on a missing file).
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"{path}:{number}: skipping unparseable JSONL line",
+                    EnvelopeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(record, dict):
+                warnings.warn(
+                    f"{path}:{number}: skipping non-object JSONL line",
+                    EnvelopeWarning,
+                    stacklevel=2,
+                )
+                continue
+            unwrapped = unwrap(record)
+            if unwrapped is not None:
+                yield unwrapped

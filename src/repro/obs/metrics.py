@@ -31,6 +31,10 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import IO, Any, Dict, Mapping, Optional
 
+from repro.obs.envelope import wrap
+from repro.obs.series import SeriesBatch, SeriesBuffer, SeriesPoint
+from repro.obs.trace import TraceSpan
+
 #: Payload keys a sweep backend must provide to its progress callback.
 PAYLOAD_KEYS = (
     "backend",
@@ -181,18 +185,37 @@ class MetricsEmitter:
         shard: int = 0,
         label: str = "",
         min_interval_seconds: float = 0.5,
+        series_budget: Optional[int] = None,
     ) -> None:
         self._queue = queue
         self._shard = f"{label}{shard}"
         self._interval = max(min_interval_seconds, 0.0)
         self._start = time.perf_counter()
         self._last_emit = float("-inf")
+        #: Per-epoch series ring (see repro.obs.series); None disables
+        #: sampling — drive loops probe for ``epoch_sample`` before
+        #: building points, so a disabled emitter costs nothing per epoch.
+        self._series = SeriesBuffer(series_budget) if series_budget else None
+
+    @property
+    def epoch_sample(self):
+        """The per-epoch series sampler, or ``None`` when disabled.
+
+        Drive loops duck-type on this: ``getattr(progress,
+        "epoch_sample", None)`` returning a callable turns on per-epoch
+        :class:`~repro.obs.series.SeriesPoint` sampling.  Points are
+        ring-buffered locally (deterministic stride decimation bounds
+        memory) and flushed as one batch with the final snapshot.
+        """
+        if self._series is None:
+            return None
+        return self._series.offer
 
     def __call__(self, payload: Mapping[str, Any]) -> None:
         now = time.perf_counter()
-        if not payload.get("done", False):
-            if now - self._last_emit < self._interval:
-                return
+        done = bool(payload.get("done", False))
+        if not done and now - self._last_emit < self._interval:
+            return
         self._last_emit = now
         snapshot = ProgressSnapshot(
             shard=self._shard,
@@ -200,6 +223,8 @@ class MetricsEmitter:
             **{key: payload[key] for key in PAYLOAD_KEYS if key in payload},
         )
         try:
+            if done and self._series is not None and len(self._series):
+                self._queue.put(self._series.batch(self._shard))
             self._queue.put(snapshot)
         except Exception:  # pragma: no cover - queue torn down mid-run
             pass
@@ -208,8 +233,14 @@ class MetricsEmitter:
 class MetricsCollector:
     """Parent-side queue drainer: renders, records, and summarizes.
 
-    Start before launching the sweep, stop after it returns; snapshots
-    still in flight at :meth:`stop` are drained before the thread exits.
+    Start before launching the sweep, stop after it returns; records
+    still in flight at :meth:`stop` are drained before the file closes.
+    Beyond snapshots, the queue may carry
+    :class:`~repro.obs.trace.TraceSpan`\\ s,
+    :class:`~repro.obs.series.SeriesBatch`\\ es / points, and
+    :class:`CalibrationEvent`\\ s — every kind is written to the
+    ``--metrics-out`` JSONL in the versioned envelope
+    (:mod:`repro.obs.envelope`); only snapshots render status lines.
     """
 
     def __init__(
@@ -228,14 +259,22 @@ class MetricsCollector:
         self._latest: Dict[str, ProgressSnapshot] = {}
         self._final: Dict[str, ProgressSnapshot] = {}
         self._snapshots_seen = 0
+        self._spans_seen = 0
+        self._series_points_seen = 0
+        self._span_overhead = 0.0
         self._out_file: Optional[IO[str]] = None
         self._stopping = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        #: Serializes file writes against close; once ``_out_closed`` is
+        #: set under this lock, no further write can race the close.
+        self._io_lock = threading.Lock()
+        self._out_closed = False
 
     def start(self) -> "MetricsCollector":
         if self._out_path is not None:
             self._out_path.parent.mkdir(parents=True, exist_ok=True)
             self._out_file = self._out_path.open("a", encoding="utf-8")
+            self._out_closed = False
         self._thread = threading.Thread(
             target=self._drain, name="metrics-collector", daemon=True
         )
@@ -243,49 +282,123 @@ class MetricsCollector:
         return self
 
     def stop(self) -> None:
+        """Drain to empty, then close the output; never write afterwards.
+
+        The drain thread keeps consuming until the queue is empty *and*
+        the stop flag is set.  If it fails to finish within the join
+        timeout (a wedged manager queue), the output file is still closed
+        safely: ``_write_record`` and the close both hold ``_io_lock``
+        and writes check ``_out_closed`` first, so a straggling record is
+        dropped instead of racing a closed file (the old ValueError).
+        """
         self._stopping.set()
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
             self._thread = None
-        if self._out_file is not None:
-            self._out_file.close()
-            self._out_file = None
+        if thread is None or not thread.is_alive():
+            # Thread exited (or never ran): anything still queued — e.g.
+            # put between the thread's last Empty and our join — is ours
+            # to drain inline before the file closes.
+            self._drain_remaining()
+        with self._io_lock:
+            self._out_closed = True
+            if self._out_file is not None:
+                self._out_file.close()
+                self._out_file = None
+
+    def _drain_remaining(self) -> None:
+        while True:
+            try:
+                record = self._queue.get_nowait()
+            except queue_module.Empty:
+                return
+            except (EOFError, OSError):  # pragma: no cover - manager gone
+                return
+            self._handle(record)
 
     def _drain(self) -> None:
         while True:
             try:
-                snapshot = self._queue.get(timeout=0.1)
+                record = self._queue.get(timeout=0.1)
             except queue_module.Empty:
                 if self._stopping.is_set():
                     return
                 continue
             except (EOFError, OSError):  # pragma: no cover - manager gone
                 return
-            self._handle(snapshot)
+            self._handle(record)
 
-    def _handle(self, snapshot: ProgressSnapshot) -> None:
-        self._snapshots_seen += 1
-        self._latest[snapshot.shard] = snapshot
-        if snapshot.done:
-            self._final[snapshot.shard] = snapshot
-        if self._out_file is not None:
-            self._out_file.write(json.dumps(snapshot.to_dict(), sort_keys=True) + "\n")
+    def _write_record(self, kind: str, payload: Mapping[str, Any]) -> None:
+        with self._io_lock:
+            if self._out_file is None or self._out_closed:
+                return
+            self._out_file.write(
+                json.dumps(wrap(kind, payload), sort_keys=True) + "\n"
+            )
             self._out_file.flush()
-        if self._stream is not None:
-            now = time.perf_counter()
-            if snapshot.done or now - self._last_render >= self._render_interval:
-                self._last_render = now
-                print(snapshot.render_line(), file=self._stream, flush=True)
+
+    def _handle(self, record: Any) -> None:
+        if isinstance(record, ProgressSnapshot):
+            self._snapshots_seen += 1
+            self._latest[record.shard] = record
+            if record.done:
+                self._final[record.shard] = record
+            self._write_record("snapshot", record.to_dict())
+            if self._stream is not None:
+                now = time.perf_counter()
+                if record.done or now - self._last_render >= self._render_interval:
+                    self._last_render = now
+                    print(record.render_line(), file=self._stream, flush=True)
+        elif isinstance(record, TraceSpan):
+            self._spans_seen += 1
+            self._span_overhead += float(
+                record.tags.get("obs_overhead_seconds", 0.0) or 0.0
+            )
+            self._write_record("span", record.to_dict())
+        elif isinstance(record, SeriesBatch):
+            for point in record.points:
+                self._series_points_seen += 1
+                self._write_record("series", point.to_dict())
+        elif isinstance(record, SeriesPoint):
+            self._series_points_seen += 1
+            self._write_record("series", record.to_dict())
+        elif isinstance(record, CalibrationEvent):
+            self._write_record("calibration", record.to_dict())
+        # Unknown queue items are dropped: the collector must survive
+        # whatever a mismatched worker version manages to enqueue.
 
     @property
     def snapshots_seen(self) -> int:
         return self._snapshots_seen
 
+    @property
+    def spans_seen(self) -> int:
+        return self._spans_seen
+
+    @property
+    def series_points_seen(self) -> int:
+        return self._series_points_seen
+
+    @property
+    def span_overhead_seconds(self) -> float:
+        """Observability overhead the collected spans self-reported.
+
+        Worker-side tracers stamp ``obs_overhead_seconds`` on their shard
+        root spans; the run's parent tracer folds this in before closing
+        its own root, so the published ``obs_overhead_fraction`` covers
+        every process of the run.
+        """
+        return self._span_overhead
+
     def summary(self) -> Dict[str, Any]:
         """Aggregate view over the final (or latest) per-shard snapshots.
 
-        Wall-clock-free counters here are deterministic for a seeded spec;
-        ``epochs_per_second`` is the only timing-derived field.
+        Wall-clock-free counters here are deterministic for a seeded
+        spec; ``epochs_per_second`` (per shard and the cross-shard
+        aggregate) and ``wall_seconds`` are the timing-derived fields.
+        The aggregate divides total epochs by the *longest* shard wall —
+        shards run concurrently, so that is the fleet's real throughput.
         """
         finals = {
             shard: self._final.get(shard, latest)
@@ -304,10 +417,16 @@ class MetricsCollector:
             }
             for shard, snap in sorted(finals.items())
         }
+        epochs = sum(s.epochs_done for s in finals.values())
+        wall = max((s.wall_seconds for s in finals.values()), default=0.0)
         return {
             "snapshots": self._snapshots_seen,
+            "spans": self._spans_seen,
+            "series_points": self._series_points_seen,
             "shards": per_shard,
-            "epochs": sum(s.epochs_done for s in finals.values()),
+            "epochs": epochs,
+            "wall_seconds": wall,
+            "epochs_per_second": epochs / wall if wall > 0 else 0.0,
             "completions": sum(s.completions for s in finals.values()),
             "fault_injections": sum(s.fault_injections for s in finals.values()),
             "meter_dropped": sum(s.meter_dropped for s in finals.values()),

@@ -38,6 +38,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.hardware.topology import CASCADE_LAKE_5218, MachineSpec
 from repro.obs.metrics import MetricsEmitter
+from repro.obs.trace import SpanContext, Tracer
 from repro.platform.batch.sweep import (
     FleetScenario,
     FleetSweep,
@@ -150,6 +151,11 @@ class _ShardJob:
     metrics_queue: Optional[Any] = None
     metrics_interval: float = 0.5
     metrics_label: str = ""
+    #: Parent trace handle; workers open their shard span under it and
+    #: push finished spans onto ``metrics_queue`` (see repro.obs.trace).
+    trace: Optional[SpanContext] = None
+    #: Per-epoch series point budget; None disables series sampling.
+    series_budget: Optional[int] = None
 
 
 def _shard_progress(job: _ShardJob) -> Optional[ProgressCallback]:
@@ -160,11 +166,20 @@ def _shard_progress(job: _ShardJob) -> Optional[ProgressCallback]:
         shard=job.shard,
         label=job.metrics_label,
         min_interval_seconds=job.metrics_interval,
+        series_budget=job.series_budget,
     )
 
 
 def _run_shard(job: _ShardJob) -> Tuple[int, FleetSweepResult]:
-    """Worker entry point: one fleet per shard (module-level: picklable)."""
+    """Worker entry point: one fleet per shard (module-level: picklable).
+
+    With a trace context attached, the worker builds its own tracer on
+    the inherited trace ID, wraps the whole shard in one span parented on
+    the parent's sweep span, and ships it back over the metrics queue —
+    so the parent's collector files every process into one span tree.
+    The shard span is closed ``root=True``: it carries this worker's
+    ``obs_overhead_seconds``, which the parent folds into the run root.
+    """
     sweep = FleetSweep(
         job.scenarios,
         machine=job.machine,
@@ -174,7 +189,27 @@ def _run_shard(job: _ShardJob) -> Tuple[int, FleetSweepResult]:
         registry_scale=job.registry_scale,
         meter=job.meter,
     )
-    return job.shard, sweep.run(job.backend, progress=_shard_progress(job))
+    tracer = None
+    span = None
+    if job.trace is not None and job.metrics_queue is not None:
+        queue = job.metrics_queue
+        tracer = Tracer(trace_id=job.trace.trace_id, sink=queue.put)
+        span = tracer.start(
+            f"shard-{job.metrics_label}{job.shard}",
+            parent=job.trace,
+            tags={
+                "phase": "shard",
+                "shard": job.shard,
+                "scenarios": len(job.scenarios),
+                "backend": job.backend,
+            },
+        )
+    try:
+        result = sweep.run(job.backend, progress=_shard_progress(job))
+    finally:
+        if tracer is not None and span is not None:
+            tracer.finish(span, root=True)
+    return job.shard, result
 
 
 def run_sharded(
@@ -192,6 +227,8 @@ def run_sharded(
     metrics_queue: Optional[Any] = None,
     metrics_interval: float = 0.5,
     metrics_label: str = "",
+    trace: Optional[SpanContext] = None,
+    series_budget: Optional[int] = None,
 ) -> ShardedSweepResult:
     """Run a scenario grid partitioned across worker processes.
 
@@ -212,6 +249,13 @@ def run_sharded(
     most every ``metrics_interval`` seconds, tagged ``metrics_label + shard``
     (see :mod:`repro.obs`).  Metrics are read-only and cannot change any
     simulated number.
+
+    ``trace`` — a picklable :class:`~repro.obs.trace.SpanContext` — makes
+    every shard worker emit one ``phase=shard`` span (over the metrics
+    queue) parented on the caller's span, so a sharded run still yields a
+    single coherent trace tree.  ``series_budget`` turns on per-epoch
+    :class:`~repro.obs.series.SeriesPoint` sampling inside each shard,
+    ring-buffered to that many points.  Both are observability-only.
     """
     start = time.perf_counter()
     parts = partition_scenarios(scenarios, shards, machine=machine)
@@ -232,8 +276,26 @@ def run_sharded(
                 shard=0,
                 label=metrics_label,
                 min_interval_seconds=metrics_interval,
+                series_budget=series_budget,
             )
-        result = sweep.run(backend, progress=progress)
+        tracer = span = None
+        if trace is not None and metrics_queue is not None:
+            tracer = Tracer(trace_id=trace.trace_id, sink=metrics_queue.put)
+            span = tracer.start(
+                f"shard-{metrics_label}0",
+                parent=trace,
+                tags={
+                    "phase": "shard",
+                    "shard": 0,
+                    "scenarios": len(scenarios),
+                    "backend": backend,
+                },
+            )
+        try:
+            result = sweep.run(backend, progress=progress)
+        finally:
+            if tracer is not None and span is not None:
+                tracer.finish(span, root=True)
         timing = ShardTiming(
             shard=0,
             scenario_names=tuple(s.name for s in scenarios),
@@ -262,6 +324,8 @@ def run_sharded(
             metrics_queue=metrics_queue,
             metrics_interval=metrics_interval,
             metrics_label=metrics_label,
+            trace=trace,
+            series_budget=series_budget,
         )
         for shard, part in enumerate(parts)
     ]

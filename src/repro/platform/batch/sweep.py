@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.reporting import format_table
 from repro.hardware.cpu import CPU
 from repro.hardware.topology import CASCADE_LAKE_5218, MachineSpec
+from repro.obs.series import SeriesPoint
 from repro.platform.batch.vector_engine import VectorEngine, VectorEngineConfig
 from repro.platform.churn import WindowedBurst
 from repro.platform.engine import EngineConfig, SimulationEngine
@@ -786,7 +787,46 @@ class FleetSweep:
                 )
             )
 
+        # Per-epoch series sampling is duck-typed: a MetricsEmitter with a
+        # series budget exposes ``epoch_sample`` (repro.obs.series); plain
+        # callbacks don't, and pay nothing.  Sampling is read-only — it
+        # sums counters the engines already maintain — so it cannot
+        # perturb the simulated numbers.
+        sampler = (
+            None if progress is None else getattr(progress, "epoch_sample", None)
+        )
+
+        def sample_epoch() -> None:
+            injections = dropped = 0
+            billed = true = 0.0
+            for counter in fault_counters:
+                if counter is not None:
+                    injections += (
+                        counter.spike_submissions + counter.neighbor_submissions
+                    )
+            for ledger in ledgers:
+                if ledger is not None:
+                    dropped += ledger.dropped
+                    billed += ledger.billed_total
+                    true += ledger.true_total
+            sampler(
+                SeriesPoint(
+                    shard="",
+                    epoch=int(engine.stats.epochs),
+                    time_seconds=float(engine.time_seconds),
+                    completions=sum(completed),
+                    shared_stall_fraction=engine.fleet_shared_stall_fraction,
+                    fault_injections=injections,
+                    meter_dropped=dropped,
+                    billing_error_fraction=(
+                        (billed - true) / true if true > 0 else 0.0
+                    ),
+                )
+            )
+
         def on_epoch() -> None:
+            if sampler is not None:
+                sample_epoch()
             if progress is not None and engine.stats.epochs % 64 == 0:
                 emit()
 

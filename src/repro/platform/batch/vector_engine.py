@@ -407,6 +407,19 @@ class VectorEngine:
             elapsed_seconds=float(self._m_elapsed[machine]),
         )
 
+    @property
+    def fleet_shared_stall_fraction(self) -> float:
+        """Fleet-wide shared-resource stall share: stall cycles / cycles.
+
+        A cheap read over the already-maintained counter arrays — the
+        per-epoch telemetry samplers use it (repro.obs.series), so it
+        must never mutate state.
+        """
+        cycles = float(self._m_counters["cycles"].sum())
+        if cycles <= 0.0:
+            return 0.0
+        return float(self._m_counters["stall_cycles_l2_miss"].sum()) / cycles
+
     def set_frequency_scale(self, machines, scale: float) -> None:
         """Scale selected machines' operating frequency from now on.
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, List, Optional
 
+from repro.obs.trace import SpanContext, Tracer, TraceSpan
 from repro.serve.checkpoint import save_checkpoint
 from repro.serve.replay import ChunkResult, StreamReplay
 from repro.scenarios.trace import TraceChunk
@@ -76,6 +77,8 @@ class StreamPipeline:
         checkpoint_every: int = 0,
         max_chunks: Optional[int] = None,
         finalize: bool = True,
+        tracer: Optional[Tracer] = None,
+        trace_parent: Optional[SpanContext] = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
@@ -94,8 +97,32 @@ class StreamPipeline:
         self._finalize = finalize
         self._stop = threading.Event()
         self._publish_error: List[BaseException] = []
+        #: Optional span tracing (repro.obs.trace).  Stage spans parent
+        #: explicitly on ``trace_parent`` — three threads share one
+        #: tracer, so the open-span stack cannot be relied on here.
+        self._tracer = tracer
+        self._trace_parent = trace_parent
+
+    def _stage_span(self, name: str) -> Optional[TraceSpan]:
+        if self._tracer is None:
+            return None
+        return self._tracer.start(
+            name, parent=self._trace_parent, tags={"phase": name}
+        )
+
+    def _end_span(self, span: Optional[TraceSpan], **tags: object) -> None:
+        if self._tracer is not None and span is not None:
+            span.tags.update(tags)
+            self._tracer.finish(span)
 
     def _ingest_stage(self) -> None:
+        span = self._stage_span("ingest")
+        try:
+            self._ingest_loop()
+        finally:
+            self._end_span(span, chunks=len(self._chunks))
+
+    def _ingest_loop(self) -> None:
         for chunk in self._chunks:
             while not self._stop.is_set():
                 try:
@@ -114,17 +141,23 @@ class StreamPipeline:
                 continue
 
     def _publish_stage(self) -> None:
-        while True:
-            result = self._out.get()
-            if result is _DONE:
-                return
-            if self._publish is not None:
-                try:
-                    self._publish(result)
-                except BaseException as error:  # surfaced by run()
-                    self._publish_error.append(error)
-                    self._stop.set()
+        span = self._stage_span("publish")
+        published = 0
+        try:
+            while True:
+                result = self._out.get()
+                if result is _DONE:
                     return
+                if self._publish is not None:
+                    try:
+                        self._publish(result)
+                        published += 1
+                    except BaseException as error:  # surfaced by run()
+                        self._publish_error.append(error)
+                        self._stop.set()
+                        return
+        finally:
+            self._end_span(span, published=published)
 
     def _get_in(self) -> Optional[TraceChunk]:
         """Next chunk, or the sentinel once ingest is done or stopping."""
@@ -170,15 +203,28 @@ class StreamPipeline:
         epochs = 0
         records = 0
         checkpoints = 0
+        simulate_span = self._stage_span("simulate")
         try:
             while not self._stop.is_set():
                 item = self._get_in()
                 if item is _DONE:
                     break
+                chunk_span = (
+                    None
+                    if self._tracer is None
+                    else self._tracer.start(
+                        f"chunk-{replay.chunks_ingested}",
+                        parent=simulate_span,
+                        tags={"phase": "chunk"},
+                    )
+                )
                 result = replay.ingest(item)
                 chunks += 1
                 epochs += result.epochs
                 records += len(result.records)
+                self._end_span(
+                    chunk_span, epochs=result.epochs, records=len(result.records)
+                )
                 self._put_out(result)
                 if self._maybe_checkpoint():
                     checkpoints += 1
@@ -199,6 +245,7 @@ class StreamPipeline:
             self._put_out(_DONE)
             ingest.join()
             publish.join()
+            self._end_span(simulate_span, chunks=chunks, epochs=epochs)
         if self._publish_error:
             raise self._publish_error[0]
         return StreamSummary(

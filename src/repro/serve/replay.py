@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import diskcache
+from repro.obs.series import SeriesPoint
 from repro.platform.batch.sweep import (
     FleetSweepResult,
     ProgressCallback,
@@ -248,6 +249,33 @@ class StreamReplay:
             done=done,
         )
 
+    def _series_point(self) -> SeriesPoint:
+        """One epoch's :class:`~repro.obs.series.SeriesPoint` reading."""
+        injections = dropped = 0
+        billed = true = 0.0
+        for counter in self._fault_counters:
+            if counter is not None:
+                injections += (
+                    counter.spike_submissions + counter.neighbor_submissions
+                )
+        for ledger in self._ledgers:
+            if ledger is not None:
+                dropped += ledger.dropped
+                billed += ledger.billed_total
+                true += ledger.true_total
+        return SeriesPoint(
+            shard="",
+            epoch=int(self._engine.stats.epochs),
+            time_seconds=float(self._engine.time_seconds),
+            completions=self.completions,
+            shared_stall_fraction=self._engine.fleet_shared_stall_fraction,
+            fault_injections=injections,
+            meter_dropped=dropped,
+            billing_error_fraction=(
+                (billed - true) / true if true > 0 else 0.0
+            ),
+        )
+
     # ------------------------------------------------------------------ #
     # The drive loop
     # ------------------------------------------------------------------ #
@@ -324,6 +352,14 @@ class StreamReplay:
         if max_epochs < 0:
             raise ValueError("max_epochs must be >= 0")
         engine = self._engine
+        # Duck-typed per-epoch sampler (see repro.obs.series): a
+        # MetricsEmitter with a series budget exposes ``epoch_sample``;
+        # anything else costs nothing per epoch.  Read-only by design.
+        sampler = (
+            None
+            if self._progress is None
+            else getattr(self._progress, "epoch_sample", None)
+        )
         start = time.perf_counter()
         stepped = 0
         while stepped < max_epochs and not self.finished:
@@ -335,6 +371,8 @@ class StreamReplay:
             if engine.time_seconds < self._segment_target - 1e-12:
                 engine.run_epoch()
                 stepped += 1
+                if sampler is not None:
+                    sampler(self._series_point())
                 if self._progress is not None and engine.stats.epochs % 64 == 0:
                     self._progress(self.progress_payload())
                 continue

@@ -272,7 +272,17 @@ class TestCLISpecPath:
             "all-m2-c2",
         }
         assert record["metrics"]["snapshots"] >= 1
+        assert 0.0 <= record["obs_overhead_fraction"] < 0.05
         lines = metrics.read_text(encoding="utf-8").splitlines()
-        snapshots = [json.loads(line) for line in lines]
+        records = [json.loads(line) for line in lines]
+        assert all(r["v"] == 1 for r in records)
+        snapshots = [r for r in records if r["kind"] == "snapshot"]
         assert any(s["done"] for s in snapshots)
         assert all(s["shard"].split(":")[0] in ("base", "fault") for s in snapshots)
+        spans = [r for r in records if r["kind"] == "span"]
+        assert spans, "expected trace spans in the metrics JSONL"
+        (root,) = [s for s in spans if not s["parent_id"]]
+        assert root["name"] == "sweep"
+        assert {s["trace_id"] for s in spans} == {root["trace_id"]}
+        series = [r for r in records if r["kind"] == "series"]
+        assert series and all(p["epoch"] >= 1 for p in series)
